@@ -1,0 +1,356 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured values). Each benchmark reports the headline numbers as
+// custom metrics so `go test -bench` output doubles as the results table.
+package dnstime_test
+
+import (
+	"testing"
+	"time"
+
+	"dnstime"
+	"dnstime/internal/attack"
+	"dnstime/internal/chronos"
+	"dnstime/internal/core"
+	"dnstime/internal/dnswire"
+	"dnstime/internal/ipv4"
+	"dnstime/internal/simclock"
+)
+
+// BenchmarkTableIClientMatrix regenerates Table I: boot-time attack runs
+// against all seven client profiles plus the run-time applicability
+// classification.
+func BenchmarkTableIClientMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := dnstime.TableI(dnstime.LabConfig{Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		boot, run := 0, 0
+		for _, r := range rows {
+			if r.BootTime == core.Yes {
+				boot++
+			}
+			if r.RunTime == core.Yes {
+				run++
+			}
+		}
+		b.ReportMetric(float64(boot), "boot-vulnerable")
+		b.ReportMetric(float64(run), "runtime-vulnerable")
+	}
+}
+
+// BenchmarkTableIIAttackDuration regenerates Table II: the four run-time
+// attack duration experiments (NTPd P2/P1, systemd[paper: "openntpd"] P1,
+// chrony P1).
+func BenchmarkTableIIAttackDuration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := dnstime.TableII(dnstime.LabConfig{Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.Duration.Minutes(), r.Client+"/"+r.Scenario.String()+"-min")
+		}
+	}
+}
+
+// BenchmarkTableIIIProbabilities regenerates Table III (closed form plus a
+// Monte-Carlo cross-check).
+func BenchmarkTableIIIProbabilities(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := dnstime.TableIII(dnstime.DefaultPRate)
+		if len(rows) != 9 {
+			b.Fatal("bad table")
+		}
+		b.ReportMetric(rows[3].P2, "P2(m=4)-pct") // paper: 15.7
+		b.ReportMetric(rows[5].P1, "P1(m=6)-pct") // paper: 2.1
+	}
+}
+
+// BenchmarkTableIVResolverCache regenerates Table IV: RD=0 cache snooping
+// over the open-resolver population.
+func BenchmarkTableIVResolverCache(b *testing.B) {
+	cfg := dnstime.DefaultOpenResolverConfig()
+	for i := 0; i < b.N; i++ {
+		specs := dnstime.GenerateOpenResolvers(cfg, int64(i)+11)
+		res := dnstime.CacheSnoop(specs)
+		b.ReportMetric(res.Rows[1].CachedPct, "poolA-cached-pct") // paper: 69.41
+		b.ReportMetric(float64(res.Verified), "verified")
+	}
+}
+
+// BenchmarkTableVAdStudy regenerates Table V: the ad-network client study.
+func BenchmarkTableVAdStudy(b *testing.B) {
+	cfg := dnstime.DefaultAdStudyConfig()
+	for i := 0; i < b.N; i++ {
+		clients := dnstime.GenerateAdClients(cfg, int64(i)+9)
+		res := dnstime.AdStudy(clients)
+		for _, row := range res.Rows {
+			if row.Label == "ALL" {
+				b.ReportMetric(row.TinyPct, "ALL-tiny-pct") // paper: 64.00
+				b.ReportMetric(row.AnyPct, "ALL-any-pct")   // paper: 90.99
+			}
+		}
+		b.ReportMetric(res.DNSSECMinPct, "dnssec-min-pct") // paper: 19.14
+		b.ReportMetric(res.DNSSECMaxPct, "dnssec-max-pct") // paper: 28.94
+	}
+}
+
+// BenchmarkFigure5FragmentCDF regenerates Figure 5: the CDF of minimum
+// fragment sizes over the popular-domain nameserver population.
+func BenchmarkFigure5FragmentCDF(b *testing.B) {
+	cfg := dnstime.DefaultDomainNameserverConfig()
+	for i := 0; i < b.N; i++ {
+		specs := dnstime.GenerateDomainNameservers(cfg, int64(i)+5)
+		res := dnstime.FragScan(specs, nil)
+		b.ReportMetric(100*res.CumAt(292), "cdf-292-pct")          // paper: 7.05
+		b.ReportMetric(100*res.CumAt(548), "cdf-548-pct")          // paper: 83.2
+		b.ReportMetric(res.FragNoDNSSECPct(), "frag-nodnssec-pct") // paper: 7.66
+	}
+}
+
+// BenchmarkFigure6TTLDistribution regenerates Figure 6: remaining TTLs of
+// cached pool records (uniform on [0,150]).
+func BenchmarkFigure6TTLDistribution(b *testing.B) {
+	cfg := dnstime.DefaultOpenResolverConfig()
+	cfg.Total = 100000
+	for i := 0; i < b.N; i++ {
+		res := dnstime.CacheSnoop(dnstime.GenerateOpenResolvers(cfg, int64(i)+12))
+		h := res.TTLHistogram()
+		b.ReportMetric(float64(h.Total()), "ttl-samples")
+		b.ReportMetric(float64(h.Bin(0)), "bin0")
+		b.ReportMetric(float64(h.Bin(14)), "bin14")
+	}
+}
+
+// BenchmarkFigure7TimingSideChannel regenerates Figure 7: the t_first−t_avg
+// latency-difference distribution and its lack of a clean threshold.
+func BenchmarkFigure7TimingSideChannel(b *testing.B) {
+	cfg := dnstime.DefaultTimingProbeConfig()
+	for i := 0; i < b.N; i++ {
+		res := dnstime.TimingSideChannel(cfg, int64(i)+17)
+		h := res.Histogram()
+		b.ReportMetric(float64(h.Total()), "samples")
+		b.ReportMetric(float64(h.Under()+h.Over()), "clamped-tails")
+	}
+}
+
+// BenchmarkRateLimitScan regenerates §VII-A: the live 2432-server pool scan
+// (33% KoD, 38% stop responding).
+func BenchmarkRateLimitScan(b *testing.B) {
+	cfg := dnstime.DefaultPoolConfig()
+	for i := 0; i < b.N; i++ {
+		specs := dnstime.GeneratePool(cfg, int64(i)+42)
+		res, err := dnstime.RateLimitScan(specs, dnstime.DefaultScanConfig(), int64(i)+42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RateLimitedPct(), "ratelimited-pct") // paper: 38
+		b.ReportMetric(res.KoDPct(), "kod-pct")                 // paper: 33
+	}
+}
+
+// BenchmarkNameserverFragScan regenerates §VII-B: 16/30 pool nameservers
+// fragment below 548 B, none signed.
+func BenchmarkNameserverFragScan(b *testing.B) {
+	cfg := dnstime.DefaultPoolNameserverConfig()
+	for i := 0; i < b.N; i++ {
+		specs := dnstime.GeneratePoolNameservers(cfg, int64(i)+3)
+		res := dnstime.FragScan(specs, nil)
+		b.ReportMetric(float64(res.FragBelow548), "frag-below-548") // paper: 16
+		b.ReportMetric(float64(res.DNSSEC), "dnssec")               // paper: 0
+	}
+}
+
+// BenchmarkSharedResolverStudy regenerates §VIII-B3: the 13.8% of web-client
+// resolvers whose queries the attacker can trigger.
+func BenchmarkSharedResolverStudy(b *testing.B) {
+	cfg := dnstime.DefaultSharedResolverConfig()
+	for i := 0; i < b.N; i++ {
+		res := dnstime.SharedResolverStudy(dnstime.GenerateSharedResolvers(cfg, int64(i)+21))
+		b.ReportMetric(res.TriggerablePct(), "triggerable-pct") // paper: 13.8
+	}
+}
+
+// BenchmarkChronosAttackBound regenerates §VI-C: the N ≤ 11 bound and a full
+// pool-generation poisoning run.
+func BenchmarkChronosAttackBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if n := dnstime.ChronosAttackBound(4, 89); n != 11 {
+			b.Fatalf("bound = %d", n)
+		}
+		res, err := dnstime.RunChronosAttack(5, 89, dnstime.LabConfig{Seed: int64(i) + 9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.PoolSize), "pool-size")
+		b.ReportMetric(boolMetric(res.Shifted), "shifted")
+	}
+}
+
+// BenchmarkRuntimeShift500s regenerates §V-A2: the −500 s run-time shift
+// against an ntpd-profile client.
+func BenchmarkRuntimeShift500s(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := dnstime.RunRuntimeAttack(dnstime.ProfileNTPd, dnstime.ScenarioP1, dnstime.LabConfig{Seed: int64(i) + 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ClockOffset.Seconds(), "final-offset-s") // paper: −500
+		b.ReportMetric(boolMetric(res.Succeeded), "succeeded")
+	}
+}
+
+// BenchmarkBootTimePlanting regenerates §IV-A: the 30-second planting loop
+// needs at most 5 spoofed fragments per 150 s TTL window and stays low
+// volume.
+func BenchmarkBootTimePlanting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := dnstime.MustNewLab(dnstime.LabConfig{Seed: int64(i) + 11})
+		campaign := lab.StartPoisonCampaign(30*time.Second, 0)
+		lab.Clock.RunFor(150 * time.Second)
+		campaign.Stop()
+		b.ReportMetric(float64(campaign.Rounds), "rounds-per-ttl") // paper: ≤5
+		b.ReportMetric(float64(lab.Eve.InjectedPackets), "packets-per-ttl")
+	}
+}
+
+// BenchmarkPoisoningPipeline measures the §III unit pipeline: template →
+// malicious twin → spoofed fragments with fixed checksum.
+func BenchmarkPoisoningPipeline(b *testing.B) {
+	// Build a representative padded pool response template once.
+	q := dnswire.NewQuery(1, "pool.ntp.org", dnswire.TypeA, true)
+	r := dnswire.NewResponse(q)
+	for i := 0; i < 8; i++ {
+		r.Answers = append(r.Answers, dnswire.RR{
+			Name: "pool.ntp.org", Type: dnswire.TypeA, TTL: 150,
+			Addr: ipv4.Addr{10, 0, 0, byte(i + 1)},
+		})
+	}
+	r.Additional = append(r.Additional, dnswire.RR{
+		Name: "pool.ntp.org", Type: dnswire.TypeTXT, TTL: 0,
+		Text: string(make([]byte, 0, 0)) + paddingText(240),
+	})
+	template, err := r.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	evil := []ipv4.Addr{{6, 6, 6, 6}}
+	ipids := []uint16{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frags, err := attack.BuildSpoofedFragments(attack.PoisonPlan{
+			NS:       core.NSAddr,
+			Resolver: core.ResolverAddr,
+			Template: template, Malicious: evil, MTU: 68, IPIDs: ipids,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(frags) != len(ipids) {
+			b.Fatal("wrong fragment count")
+		}
+	}
+}
+
+func paddingText(n int) string {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = 'p'
+	}
+	return string(buf)
+}
+
+// BenchmarkAblationDefragTimeout measures attack-relevant defrag-cache
+// behaviour across reassembly timeouts (DESIGN.md §5): how long a planted
+// fragment survives awaiting the real first fragment.
+func BenchmarkAblationDefragTimeout(b *testing.B) {
+	timeouts := []time.Duration{30 * time.Second, 60 * time.Second, 120 * time.Second}
+	for i := 0; i < b.N; i++ {
+		for _, to := range timeouts {
+			clk := simclock.New(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC))
+			r := ipv4.NewReassembler(clk, ipv4.ReassemblyPolicy{Timeout: to, MaxPerPair: 64, Overlap: ipv4.FirstWins})
+			frag := &ipv4.Packet{
+				Src: core.NSAddr, Dst: core.ResolverAddr, ID: 1,
+				Proto: ipv4.ProtoUDP, FragOff: 48,
+				Payload: make([]byte, 64),
+			}
+			r.Add(frag)
+			clk.RunFor(to - time.Second)
+			alive := r.PendingBuckets(core.NSAddr, core.ResolverAddr, ipv4.ProtoUDP)
+			b.ReportMetric(float64(alive), "alive-at-"+to.String())
+		}
+	}
+}
+
+// BenchmarkAblationIPIDAllocator compares poisoning success across IPID
+// allocation strategies (sequential vs per-destination vs random): the
+// probe-and-extrapolate predictor only works against sequential counters.
+func BenchmarkAblationIPIDAllocator(b *testing.B) {
+	allocators := []struct {
+		name  string
+		alloc func() ipv4.IDAllocator
+	}{
+		{"sequential", func() ipv4.IDAllocator { return &ipv4.SequentialAllocator{} }},
+		{"perdest", func() ipv4.IDAllocator { return &ipv4.PerDestAllocator{} }},
+		{"random", func() ipv4.IDAllocator { return &ipv4.RandomAllocator{State: 99} }},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, tc := range allocators {
+			// Probe stream as the attacker would see it.
+			a := tc.alloc()
+			probeDst := core.AttackerAddr
+			var probes []uint16
+			for p := 0; p < 4; p++ {
+				probes = append(probes, a.Next(core.NSAddr, probeDst))
+			}
+			window := attack.PredictIPIDs(probes, 1, 16)
+			// The next allocation toward the victim.
+			actual := a.Next(core.NSAddr, core.ResolverAddr)
+			hit := 0.0
+			for _, id := range window {
+				if id == actual {
+					hit = 1
+					break
+				}
+			}
+			b.ReportMetric(hit, "hit-"+tc.name)
+		}
+	}
+}
+
+// BenchmarkChronosSamplingRounds measures the Chronos client's sampling
+// round over a large pool (throughput of the core algorithm).
+func BenchmarkChronosSamplingRounds(b *testing.B) {
+	bound := chronos.AttackBound
+	for i := 0; i < b.N; i++ {
+		// Sweep the attack bound across response capacities (DESIGN.md §5
+		// ablation: tolerable N vs addresses per spoofed response).
+		for _, spoofed := range []int{20, 45, 89, 120} {
+			n := bound(4, spoofed)
+			b.ReportMetric(float64(n), "maxN-"+itoa(spoofed))
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,179 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints them in paper-like layout.
+//
+// Usage:
+//
+//	experiments [-seed N] [-fast] [-only table3,fig5,...]
+//
+// -fast skips the slowest experiments (Table II's four full run-time
+// attacks and the 2432-server rate-limit scan).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dnstime"
+	"dnstime/internal/stats"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "deterministic seed for all experiments")
+	fast := flag.Bool("fast", false, "skip the slowest experiments")
+	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,table5,fig5,fig6,fig7,ratelimit,nsfrag,chronos,shared")
+	flag.Parse()
+	if err := run(*seed, *fast, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, fast bool, only string) error {
+	want := func(name string) bool {
+		if only == "" {
+			return true
+		}
+		for _, w := range strings.Split(only, ",") {
+			if strings.TrimSpace(w) == name {
+				return true
+			}
+		}
+		return false
+	}
+	labCfg := dnstime.LabConfig{Seed: seed}
+
+	if want("table1") {
+		fmt.Println("== Table I: attack scenarios for popular NTP clients ==")
+		rows, err := dnstime.TableI(labCfg)
+		if err != nil {
+			return err
+		}
+		t := stats.NewTable("Client", "pool usage %", "boot-time", "run-time")
+		for _, r := range rows {
+			usage := fmt.Sprintf("%.1f", r.UsagePct)
+			if r.UsagePct == 0 {
+				usage = "not listed"
+			}
+			t.AddRow(r.Client, usage, r.BootTime.String(), r.RunTime.String())
+		}
+		fmt.Println(t)
+	}
+
+	if want("table2") && !fast {
+		fmt.Println("== Table II: run-time attack duration (paper values in parentheses) ==")
+		rows, err := dnstime.TableII(labCfg)
+		if err != nil {
+			return err
+		}
+		t := stats.NewTable("Client", "Scenario", "Measured", "Paper")
+		for _, r := range rows {
+			t.AddRow(r.Client, r.Scenario.String(),
+				fmt.Sprintf("%.0f minutes", r.Duration.Minutes()),
+				fmt.Sprintf("(%.0f minutes)", r.PaperDuration.Minutes()))
+		}
+		fmt.Println(t)
+	}
+
+	if want("table3") {
+		fmt.Println("== Table III: run-time attack success probabilities (p_rate = 38%) ==")
+		t := stats.NewTable("m", "n", "P1(n) %", "P2(m,n) %")
+		for _, r := range dnstime.TableIII(dnstime.DefaultPRate) {
+			t.AddRow(r.M, r.N, r.P1, r.P2)
+		}
+		fmt.Println(t)
+	}
+
+	if want("table4") {
+		fmt.Println("== Table IV: pool.ntp.org caching state in open resolvers ==")
+		specs := dnstime.GenerateOpenResolvers(dnstime.DefaultOpenResolverConfig(), seed+11)
+		res := dnstime.CacheSnoop(specs)
+		t := stats.NewTable("Query", "Cached %", "Cached", "Not Cached")
+		for _, row := range res.Rows {
+			t.AddRow(string(row.Record), row.CachedPct, row.Cached, row.NotCached)
+		}
+		fmt.Println(t)
+		fmt.Printf("probed=%d verified=%d\n\n", res.Probed, res.Verified)
+
+		if want("fig6") {
+			fmt.Println("== Figure 6: TTL values of cached NTP pool records ==")
+			fmt.Println(res.TTLHistogram().Render(50))
+		}
+	}
+
+	if want("table5") {
+		fmt.Println("== Table V: client resolver study using ads ==")
+		clients := dnstime.GenerateAdClients(dnstime.DefaultAdStudyConfig(), seed+9)
+		res := dnstime.AdStudy(clients)
+		fmt.Print(res.Render())
+		fmt.Printf("valid=%d filtered=%d google=%d  DNSSEC validation %.2f%%–%.2f%% (paper: 19.14%%–28.94%%)\n\n",
+			res.ValidClients, res.Filtered, res.GoogleClients, res.DNSSECMinPct, res.DNSSECMaxPct)
+	}
+
+	if want("fig5") {
+		fmt.Println("== Figure 5: CDF of min fragment sizes (1M-domain nameservers, no DNSSEC) ==")
+		specs := dnstime.GenerateDomainNameservers(dnstime.DefaultDomainNameserverConfig(), seed+5)
+		res := dnstime.FragScan(specs, nil)
+		t := stats.NewTable("Min fragment size (bytes)", "cumulative fraction %")
+		for _, pt := range res.MinSizes.Points([]float64{68, 292, 548, 1276, 1500}) {
+			t.AddRow(int(pt[0]), 100*pt[1])
+		}
+		fmt.Println(t)
+		fmt.Printf("fragmenting without DNSSEC: %.2f%% of domains (paper: 7.66%%)\n\n", res.FragNoDNSSECPct())
+	}
+
+	if want("fig7") {
+		fmt.Println("== Figure 7: latency difference t_first − t_avg (ms) ==")
+		res := dnstime.TimingSideChannel(dnstime.DefaultTimingProbeConfig(), seed+17)
+		h := res.Histogram()
+		fmt.Println(h.Render(50))
+		fmt.Printf("clamped tails: %d below −50 ms, %d above 200 ms\n\n", h.Under(), h.Over())
+	}
+
+	if want("ratelimit") {
+		cfg := dnstime.DefaultPoolConfig()
+		if fast {
+			cfg.Servers = 300
+		}
+		fmt.Printf("== §VII-A: rate limiting of %d pool.ntp.org NTP servers ==\n", cfg.Servers)
+		specs := dnstime.GeneratePool(cfg, seed+42)
+		res, err := dnstime.RateLimitScan(specs, dnstime.DefaultScanConfig(), seed+42)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("KoD senders:      %d (%.0f%%, paper: 33%%)\n", res.KoDSenders, res.KoDPct())
+		fmt.Printf("stopped replying: %d (%.0f%%, paper: 38%%)\n\n", res.RateLimited, res.RateLimitedPct())
+	}
+
+	if want("nsfrag") {
+		fmt.Println("== §VII-B: fragmentation support of pool.ntp.org nameservers ==")
+		specs := dnstime.GeneratePoolNameservers(dnstime.DefaultPoolNameserverConfig(), seed+3)
+		res := dnstime.FragScan(specs, nil)
+		fmt.Printf("%d of %d nameservers fragment below 548 B (paper: 16 of 30); DNSSEC: %d (paper: 0)\n\n",
+			res.FragBelow548, res.Total, res.DNSSEC)
+	}
+
+	if want("chronos") {
+		fmt.Println("== §VI-C: DNS poisoning attack against Chronos ==")
+		fmt.Printf("analytic bound: poisoning must land before query N ≤ %d (paper: 11)\n",
+			dnstime.ChronosAttackBound(4, 89))
+		res, err := dnstime.RunChronosAttack(5, 89, labCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("N=%d: pool=%d (evil %d), 2/3 control=%t, clock shifted=%t (offset %v)\n\n",
+			res.N, res.PoolSize, res.EvilInPool, res.ControlsPool, res.Shifted, res.ClockOffset)
+	}
+
+	if want("shared") {
+		fmt.Println("== §VIII-B3: shared DNS resolvers ==")
+		res := dnstime.SharedResolverStudy(dnstime.GenerateSharedResolvers(dnstime.DefaultSharedResolverConfig(), seed+21))
+		fmt.Printf("web only:      %d (%.1f%%, paper: 86.2%%)\n", res.WebOnly, 100*float64(res.WebOnly)/float64(res.Total))
+		fmt.Printf("web + SMTP:    %d (%.1f%%, paper: 11.3%%)\n", res.WebAndSMTP, 100*float64(res.WebAndSMTP)/float64(res.Total))
+		fmt.Printf("open:          %d (%.1f%%, paper: 2.3%%)\n", res.OpenOnly, 100*float64(res.OpenOnly)/float64(res.Total))
+		fmt.Printf("open + SMTP:   %d (%.1f%%, paper: 0.2%%)\n", res.OpenAndSMTP, 100*float64(res.OpenAndSMTP)/float64(res.Total))
+		fmt.Printf("triggerable:   %d (%.1f%%, paper: 13.8%%)\n\n", res.Triggerable(), res.TriggerablePct())
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+// Command ntpattack runs one of the paper's attacks in the simulated lab
+// and reports the outcome.
+//
+// Usage:
+//
+//	ntpattack -mode boot     [-client ntpd]
+//	ntpattack -mode runtime  [-client ntpd] [-scenario p1|p2]
+//	ntpattack -mode chronos  [-n 5] [-spoofed 89]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dnstime"
+)
+
+func main() {
+	mode := flag.String("mode", "boot", "attack mode: boot, runtime, chronos")
+	clientName := flag.String("client", "ntpd", "client profile: ntpd, chrony, openntpd, ntpdate, android, ntpclient, systemd")
+	scenario := flag.String("scenario", "p1", "run-time scenario: p1 (upstreams known) or p2 (RefID discovery)")
+	n := flag.Int("n", 5, "chronos: honest hourly queries completed before poisoning")
+	spoofed := flag.Int("spoofed", 89, "chronos: addresses in the poisoned response")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Parse()
+	if err := run(*mode, *clientName, *scenario, *n, *spoofed, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ntpattack:", err)
+		os.Exit(1)
+	}
+}
+
+func profileByName(name string) (dnstime.Profile, error) {
+	switch strings.ToLower(name) {
+	case "ntpd":
+		return dnstime.ProfileNTPd, nil
+	case "chrony":
+		return dnstime.ProfileChrony, nil
+	case "openntpd":
+		return dnstime.ProfileOpenNTPD, nil
+	case "ntpdate":
+		return dnstime.ProfileNtpdate, nil
+	case "android":
+		return dnstime.ProfileAndroid, nil
+	case "ntpclient":
+		return dnstime.ProfileNtpclient, nil
+	case "systemd", "systemd-timesyncd":
+		return dnstime.ProfileSystemd, nil
+	default:
+		return dnstime.Profile{}, fmt.Errorf("unknown client %q", name)
+	}
+}
+
+func run(mode, clientName, scenario string, n, spoofed int, seed int64) error {
+	cfg := dnstime.LabConfig{Seed: seed}
+	switch mode {
+	case "boot":
+		prof, err := profileByName(clientName)
+		if err != nil {
+			return err
+		}
+		res, err := dnstime.RunBootTimeAttack(prof, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("boot-time attack against %s\n", res.Profile)
+		fmt.Printf("  cache poisoned before boot: %t\n", res.Poisoned)
+		fmt.Printf("  clock shifted:              %t\n", res.Shifted)
+		fmt.Printf("  final clock offset:         %v\n", res.ClockOffset)
+		fmt.Printf("  time to shift after boot:   %v\n", res.TimeToShift.Round(1e9))
+	case "runtime":
+		prof, err := profileByName(clientName)
+		if err != nil {
+			return err
+		}
+		sc := dnstime.ScenarioP1
+		if strings.EqualFold(scenario, "p2") {
+			sc = dnstime.ScenarioP2
+		}
+		res, err := dnstime.RunRuntimeAttack(prof, sc, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("run-time attack against %s (scenario %s)\n", res.Profile, res.Scenario)
+		fmt.Printf("  synced honestly first:   %t\n", res.Synced)
+		fmt.Printf("  attack succeeded:        %t\n", res.Succeeded)
+		fmt.Printf("  attack duration:         %v\n", res.Duration.Round(1e9))
+		fmt.Printf("  run-time DNS lookups:    %d\n", res.DNSLookups)
+		fmt.Printf("  final clock offset:      %v\n", res.ClockOffset)
+	case "chronos":
+		res, err := dnstime.RunChronosAttack(n, spoofed, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("chronos attack: poisoning after N=%d honest queries (bound: %d)\n", res.N, res.Bound)
+		fmt.Printf("  final pool:        %d servers, %d attacker-controlled\n", res.PoolSize, res.EvilInPool)
+		fmt.Printf("  2/3 control:       %t\n", res.ControlsPool)
+		fmt.Printf("  clock shifted:     %t (offset %v)\n", res.Shifted, res.ClockOffset)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	return nil
+}

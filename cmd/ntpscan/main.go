@@ -1,0 +1,54 @@
+// Command ntpscan runs the server-side attack-surface measurements of
+// Section VII: the NTP rate-limiting scan and the nameserver fragmentation
+// scan.
+//
+// Usage:
+//
+//	ntpscan [-servers 2432] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dnstime"
+)
+
+func main() {
+	servers := flag.Int("servers", 2432, "pool population size")
+	seed := flag.Int64("seed", 42, "deterministic seed")
+	flag.Parse()
+	if err := run(*servers, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ntpscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(servers int, seed int64) error {
+	poolCfg := dnstime.DefaultPoolConfig()
+	poolCfg.Servers = servers
+	fmt.Printf("scanning %d pool.ntp.org servers (64 queries at 1/s each)...\n", servers)
+	specs := dnstime.GeneratePool(poolCfg, seed)
+	res, err := dnstime.RateLimitScan(specs, dnstime.DefaultScanConfig(), seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  KoD senders:      %4d (%5.1f%%, paper: 33%%)\n", res.KoDSenders, res.KoDPct())
+	fmt.Printf("  stopped replying: %4d (%5.1f%%, paper: 38%%)\n", res.RateLimited, res.RateLimitedPct())
+
+	fmt.Println("\nscanning pool.ntp.org nameservers for PMTUD/fragmentation...")
+	ns := dnstime.GeneratePoolNameservers(dnstime.DefaultPoolNameserverConfig(), seed+3)
+	f := dnstime.FragScan(ns, nil)
+	fmt.Printf("  fragment below 548 B: %d of %d (paper: 16 of 30)\n", f.FragBelow548, f.Total)
+	fmt.Printf("  DNSSEC-signed:        %d (paper: 0)\n", f.DNSSEC)
+
+	fmt.Println("\nscanning popular-domain nameservers (Figure 5)...")
+	dom := dnstime.GenerateDomainNameservers(dnstime.DefaultDomainNameserverConfig(), seed+5)
+	fd := dnstime.FragScan(dom, nil)
+	fmt.Printf("  fragmenting without DNSSEC: %.2f%% (paper: 7.66%%)\n", fd.FragNoDNSSECPct())
+	for _, sz := range []float64{292, 548, 1276, 1500} {
+		fmt.Printf("  CDF(%4.0f B) = %5.1f%%\n", sz, 100*fd.CumAt(sz))
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+// Package dnstime reproduces "The Impact of DNS Insecurity on Time"
+// (Jeitner, Shulman, Waidner — DSN 2020): practical off-path time-shifting
+// attacks against NTP and Chronos-enhanced NTP via DNS cache poisoning, and
+// the paper's measurement studies of the attack surface.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Lab wires a deterministic simulated internetwork (virtual clock, IPv4
+//     fragmentation and defragmentation caches, UDP checksums, DNS wire
+//     format, caching resolver, authoritative nameserver, NTP servers with
+//     rate limiting, behavioural NTP client profiles, a Chronos client and
+//     an off-path attacker).
+//   - RunBootTimeAttack, RunRuntimeAttack and RunChronosAttack execute the
+//     paper's three headline attacks end to end.
+//   - TableI / TableII / TableIII and the measurement runners regenerate
+//     every table and figure of the evaluation (see EXPERIMENTS.md).
+//
+// Quickstart:
+//
+//	lab := dnstime.MustNewLab(dnstime.LabConfig{Seed: 1})
+//	if err := lab.PoisonResolver(86400); err != nil { ... }
+//	client, _ := lab.NewClient(dnstime.ProfileNTPd, 0)
+//	client.Start()
+//	lab.Clock.RunFor(30 * time.Minute)
+//	fmt.Println(client.ClockOffset()) // ≈ −500 s
+package dnstime
+
+import (
+	"dnstime/internal/analysis"
+	"dnstime/internal/chronos"
+	"dnstime/internal/core"
+	"dnstime/internal/measure"
+	"dnstime/internal/ntpclient"
+	"dnstime/internal/population"
+)
+
+// Lab types: the wired attack laboratory.
+type (
+	// Lab is a fully wired attack laboratory (victim resolver, pool
+	// nameserver, honest and attacker NTP servers, off-path attacker).
+	Lab = core.Lab
+	// LabConfig sizes the laboratory.
+	LabConfig = core.LabConfig
+	// Campaign is a running §IV-A fragment-planting campaign.
+	Campaign = core.Campaign
+)
+
+// Lab constructors.
+var (
+	// NewLab builds a laboratory.
+	NewLab = core.NewLab
+	// MustNewLab is NewLab that panics on error (examples, benchmarks).
+	MustNewLab = core.MustNewLab
+)
+
+// Attack experiment runners and results.
+type (
+	// BootTimeResult reports a §IV-A boot-time attack.
+	BootTimeResult = core.BootTimeResult
+	// RuntimeResult reports a §IV-B run-time attack.
+	RuntimeResult = core.RuntimeResult
+	// RuntimeScenario selects P1 (upstreams known) or P2 (RefID discovery).
+	RuntimeScenario = core.RuntimeScenario
+	// ChronosResult reports a §VI-C Chronos attack.
+	ChronosResult = core.ChronosResult
+	// TableIRow / TableIIRow are evaluation-table rows.
+	TableIRow  = core.TableIRow
+	TableIIRow = core.TableIIRow
+)
+
+// Attack runners.
+var (
+	// RunBootTimeAttack executes the boot-time attack (Figure 2).
+	RunBootTimeAttack = core.RunBootTimeAttack
+	// RunRuntimeAttack executes the run-time attack (Figure 3).
+	RunRuntimeAttack = core.RunRuntimeAttack
+	// RunChronosAttack executes the Chronos pool-poisoning attack
+	// (Figure 4).
+	RunChronosAttack = core.RunChronosAttack
+	// TableI regenerates the client applicability matrix.
+	TableI = core.TableI
+	// TableII regenerates the run-time attack durations.
+	TableII = core.TableII
+)
+
+// Run-time attack scenarios.
+const (
+	ScenarioP1 = core.ScenarioP1
+	ScenarioP2 = core.ScenarioP2
+)
+
+// NTP client behaviour profiles (Table I).
+type Profile = ntpclient.Profile
+
+// The seven evaluated implementations.
+var (
+	ProfileNTPd      = ntpclient.ProfileNTPd
+	ProfileChrony    = ntpclient.ProfileChrony
+	ProfileOpenNTPD  = ntpclient.ProfileOpenNTPD
+	ProfileNtpdate   = ntpclient.ProfileNtpdate
+	ProfileAndroid   = ntpclient.ProfileAndroid
+	ProfileNtpclient = ntpclient.ProfileNtpclient
+	ProfileSystemd   = ntpclient.ProfileSystemd
+	// AllProfiles lists every profile with its pool.ntp.org usage share.
+	AllProfiles = ntpclient.AllProfiles
+)
+
+// Probability analysis (§V-B, Table III).
+var (
+	// P1 and P2 are the run-time attack success probabilities.
+	P1 = analysis.P1
+	P2 = analysis.P2
+	// TableIII computes all Table III rows.
+	TableIII = analysis.TableIII
+	// RemovalThreshold is n(m), the associations to remove.
+	RemovalThreshold = analysis.RemovalThreshold
+)
+
+// DefaultPRate is the measured rate-limiting fraction (38%).
+const DefaultPRate = analysis.DefaultPRate
+
+// Chronos analysis (§VI).
+var (
+	// ChronosAttackBound computes the N ≤ 11 bound.
+	ChronosAttackBound = chronos.AttackBound
+	// ChronosControlsPool checks the 2/3 control condition.
+	ChronosControlsPool = chronos.ControlsPool
+)
+
+// Measurement harness (§VII, §VIII).
+var (
+	// RateLimitScan reproduces the §VII-A pool scan.
+	RateLimitScan = measure.RateLimitScan
+	// DefaultScanConfig is the paper's 64-queries-at-1/s methodology.
+	DefaultScanConfig = measure.DefaultScanConfig
+	// FragScan reproduces §VII-B / Figure 5.
+	FragScan = measure.FragScan
+	// CacheSnoop reproduces Table IV / Figure 6.
+	CacheSnoop = measure.CacheSnoop
+	// AdStudy reproduces Table V.
+	AdStudy = measure.AdStudy
+	// SharedResolverStudy reproduces §VIII-B3.
+	SharedResolverStudy = measure.SharedResolverStudy
+	// TimingSideChannel reproduces Figure 7.
+	TimingSideChannel = measure.TimingSideChannel
+)
+
+// Synthetic populations backing the measurements.
+var (
+	GeneratePool                  = population.GeneratePool
+	DefaultPoolConfig             = population.DefaultPoolConfig
+	GeneratePoolNameservers       = population.GeneratePoolNameservers
+	DefaultPoolNameserverConfig   = population.DefaultPoolNameserverConfig
+	GenerateDomainNameservers     = population.GenerateDomainNameservers
+	DefaultDomainNameserverConfig = population.DefaultDomainNameserverConfig
+	GenerateOpenResolvers         = population.GenerateOpenResolvers
+	DefaultOpenResolverConfig     = population.DefaultOpenResolverConfig
+	GenerateAdClients             = population.GenerateAdClients
+	DefaultAdStudyConfig          = population.DefaultAdStudyConfig
+	GenerateSharedResolvers       = population.GenerateSharedResolvers
+	DefaultSharedResolverConfig   = population.DefaultSharedResolverConfig
+	DefaultTimingProbeConfig      = population.DefaultTimingProbeConfig
+)

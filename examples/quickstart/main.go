@@ -1,0 +1,42 @@
+// Quickstart: poison the victim resolver's pool.ntp.org entry via the
+// off-path fragment-replacement attack, boot an ntpd-profile client, and
+// watch its clock step to the attacker's time (−500 s).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dnstime"
+)
+
+func main() {
+	// A lab wires: victim resolver, pool.ntp.org nameserver, 8 honest NTP
+	// servers, 4 attacker NTP servers serving −500 s, and the attacker.
+	lab := dnstime.MustNewLab(dnstime.LabConfig{Seed: 1})
+
+	// Off-path cache poisoning (Section III): ICMP-forced fragmentation,
+	// IPID prediction, spoofed second fragment with fixed UDP checksum.
+	if err := lab.PoisonResolver(86400); err != nil {
+		log.Fatalf("poisoning failed: %v", err)
+	}
+	fmt.Println("resolver cache poisoned:", lab.CachePoisoned())
+
+	// Boot the victim client; its boot-time DNS lookup returns the
+	// attacker's NTP servers.
+	client, err := lab.NewClient(dnstime.ProfileNTPd, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.Start(); err != nil {
+		log.Fatal(err)
+	}
+	lab.Clock.RunFor(30 * time.Minute) // virtual time: finishes instantly
+
+	fmt.Printf("client clock offset after boot: %v (attacker serves %v)\n",
+		client.ClockOffset(), -500*time.Second)
+	for _, ev := range client.Events {
+		fmt.Println("  ", ev)
+	}
+}

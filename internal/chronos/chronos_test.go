@@ -1,0 +1,225 @@
+package chronos
+
+import (
+	"testing"
+	"time"
+
+	"dnstime/internal/dnsauth"
+	"dnstime/internal/dnsres"
+	"dnstime/internal/ipv4"
+	"dnstime/internal/ntpserv"
+	"dnstime/internal/simclock"
+	"dnstime/internal/simnet"
+)
+
+var (
+	t0      = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	nsAddr  = ipv4.MustParseAddr("198.51.100.53")
+	resAddr = ipv4.MustParseAddr("192.0.2.53")
+)
+
+type lab struct {
+	t      *testing.T
+	clk    *simclock.Clock
+	net    *simnet.Network
+	auth   *dnsauth.Server
+	res    *dnsres.Resolver
+	hAddrs []ipv4.Addr
+	eAddrs []ipv4.Addr
+	next   byte
+}
+
+func newLab(t *testing.T, honest int) *lab {
+	t.Helper()
+	clk := simclock.New(t0)
+	n := simnet.New(clk)
+	authHost := n.MustAddHost(nsAddr, simnet.HostConfig{})
+	auth, err := dnsauth.New(authHost, dnsauth.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resHost := n.MustAddHost(resAddr, simnet.HostConfig{})
+	res, err := dnsres.New(resHost, dnsres.Config{Delegations: map[string]ipv4.Addr{"ntp.org": nsAddr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &lab{t: t, clk: clk, net: n, auth: auth, res: res, next: 1}
+	for i := 0; i < honest; i++ {
+		addr := ipv4.Addr{10, 0, byte(i >> 8), byte(i)}
+		h := n.MustAddHost(addr, simnet.HostConfig{})
+		if _, err := ntpserv.New(h, ntpserv.Config{}); err != nil {
+			t.Fatal(err)
+		}
+		l.hAddrs = append(l.hAddrs, addr)
+	}
+	l.auth.AddPool(&dnsauth.Pool{Name: "pool.ntp.org", Addrs: l.hAddrs, PerResponse: 4, TTL: 150})
+	return l
+}
+
+func (l *lab) addEvil(count int, offset time.Duration) {
+	for i := 0; i < count; i++ {
+		addr := ipv4.Addr{6, 6, byte(i >> 8), byte(i)}
+		h := l.net.MustAddHost(addr, simnet.HostConfig{})
+		if _, err := ntpserv.New(h, ntpserv.Config{Offset: offset}); err != nil {
+			l.t.Fatal(err)
+		}
+		l.eAddrs = append(l.eAddrs, addr)
+	}
+}
+
+func (l *lab) client(cfg Config) *Client {
+	host := l.net.MustAddHost(ipv4.MustParseAddr("192.0.2.99"), simnet.HostConfig{})
+	return New(host, cfg, resAddr, 0)
+}
+
+func TestPoolGenerationUnionsHourlyQueries(t *testing.T) {
+	l := newLab(t, 40)
+	c := l.client(Config{Seed: 1})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	l.clk.RunFor(24*time.Hour + time.Minute)
+	// 24 queries × 4 fresh addresses each (rotating through 40 servers):
+	// the pool converges to the whole population.
+	if got := c.PoolSize(); got != 40 {
+		t.Errorf("pool size = %d, want 40", got)
+	}
+	if c.PoolQueries < 20 {
+		t.Errorf("pool queries = %d, want ≈24", c.PoolQueries)
+	}
+}
+
+func TestPoolStopsGrowingAfter24Queries(t *testing.T) {
+	l := newLab(t, 40)
+	c := l.client(Config{Seed: 1})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	l.clk.RunFor(30 * time.Hour)
+	q := c.PoolQueries
+	l.clk.RunFor(10 * time.Hour)
+	if c.PoolQueries != q {
+		t.Errorf("pool queries grew past 24: %d -> %d", q, c.PoolQueries)
+	}
+}
+
+func TestHonestPoolKeepsClockCorrect(t *testing.T) {
+	l := newLab(t, 30)
+	c := l.client(Config{Seed: 2})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	l.clk.RunFor(6 * time.Hour)
+	if off := absDur(c.ClockOffset()); off > 100*time.Millisecond {
+		t.Errorf("offset = %v with honest pool, want ≈0", c.ClockOffset())
+	}
+	// Rounds should be normal, not panic.
+	var panics int
+	for _, r := range c.Rounds {
+		if r.Kind == RoundPanic {
+			panics++
+		}
+	}
+	if panics > len(c.Rounds)/4 {
+		t.Errorf("%d/%d rounds panicked with an honest pool", panics, len(c.Rounds))
+	}
+}
+
+func TestMinorityAttackerCannotShift(t *testing.T) {
+	// Attacker controls < 2/3 of the pool: Chronos holds (its design
+	// guarantee, which the DNS attack bypasses rather than breaks).
+	l := newLab(t, 60)
+	l.addEvil(20, -500*time.Second)
+	mixed := append(append([]ipv4.Addr(nil), l.hAddrs...), l.eAddrs...)
+	l.auth.AddPool(&dnsauth.Pool{Name: "pool.ntp.org", Addrs: mixed, PerResponse: 4, TTL: 150})
+	c := l.client(Config{Seed: 3})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	l.clk.RunFor(26 * time.Hour)
+	if off := absDur(c.ClockOffset()); off > time.Second {
+		t.Errorf("offset = %v with minority attacker, want ≈0", c.ClockOffset())
+	}
+}
+
+func TestTwoThirdsAttackerShiftsViaPanic(t *testing.T) {
+	// Attacker controls ≥ 2/3 of the pool (the post-poisoning situation):
+	// the panic-mode middle third is attacker-only and the clock shifts.
+	l := newLab(t, 10)
+	l.addEvil(89, -500*time.Second)
+	mixed := append(append([]ipv4.Addr(nil), l.hAddrs...), l.eAddrs...)
+	l.auth.AddPool(&dnsauth.Pool{Name: "pool.ntp.org", Addrs: mixed, PerResponse: len(mixed), TTL: 150})
+	c := l.client(Config{Seed: 4})
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	l.clk.RunFor(2 * time.Hour)
+	off := c.ClockOffset()
+	if off > -499*time.Second || off < -501*time.Second {
+		t.Errorf("offset = %v, want ≈ −500 s with 2/3 pool control", off)
+	}
+	var sawPanic bool
+	for _, r := range c.Rounds {
+		if r.Kind == RoundPanic {
+			sawPanic = true
+		}
+	}
+	if !sawPanic {
+		t.Error("no panic round recorded during the shift")
+	}
+}
+
+func TestAttackBoundMatchesPaper(t *testing.T) {
+	// §VI-C: 2/3·(89+4N) ≤ 89 ⇒ N ≤ 11.
+	if got := AttackBound(4, 89); got != 11 {
+		t.Errorf("AttackBound(4, 89) = %d, want 11", got)
+	}
+}
+
+func TestAttackBoundTable(t *testing.T) {
+	tests := []struct {
+		perQuery, spoofed, want int
+	}{
+		{4, 89, 11},
+		{4, 30, 3}, // 2(30+4N)≤90 ⇒ N ≤ 3.75
+		{8, 89, 5}, // 2(89+8N)≤267 ⇒ N ≤ 5.5
+		{4, 8, 1},  // 2(8+4N)≤24 ⇒ N ≤ 1
+		{4, 2, 0},  // one spoofed pair still beats zero honest queries
+	}
+	for _, tt := range tests {
+		if got := AttackBound(tt.perQuery, tt.spoofed); got != tt.want {
+			t.Errorf("AttackBound(%d,%d) = %d, want %d", tt.perQuery, tt.spoofed, got, tt.want)
+		}
+	}
+}
+
+func TestAttackBoundConsistentWithControlsPool(t *testing.T) {
+	for perQuery := 1; perQuery <= 8; perQuery++ {
+		for spoofed := 1; spoofed <= 120; spoofed++ {
+			n := AttackBound(perQuery, spoofed)
+			if n >= 0 && !ControlsPool(spoofed, spoofed+perQuery*n) {
+				t.Fatalf("AttackBound(%d,%d)=%d does not control pool", perQuery, spoofed, n)
+			}
+			if ControlsPool(spoofed, spoofed+perQuery*(n+1)) {
+				t.Fatalf("AttackBound(%d,%d)=%d is not maximal", perQuery, spoofed, n)
+			}
+		}
+	}
+}
+
+func TestControlsPool(t *testing.T) {
+	if !ControlsPool(2, 3) || !ControlsPool(89, 133) {
+		t.Error("2/3 control not recognised")
+	}
+	if ControlsPool(1, 2) || ControlsPool(89, 134) {
+		t.Error("sub-2/3 control misclassified")
+	}
+}
+
+func TestRoundKindString(t *testing.T) {
+	for _, k := range []RoundKind{RoundNormal, RoundPanic, RoundInconclusive, RoundKind(9)} {
+		if k.String() == "" {
+			t.Errorf("empty string for %d", k)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dnstime/internal/ntpclient"
+)
+
+func TestPoisonResolverEndToEnd(t *testing.T) {
+	lab, err := NewLab(LabConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lab.CachePoisoned() {
+		t.Fatal("cache poisoned before attack")
+	}
+	if err := lab.PoisonResolver(86400); err != nil {
+		t.Fatalf("PoisonResolver: %v", err)
+	}
+	if !lab.CachePoisoned() {
+		t.Fatal("CachePoisoned() false after successful poisoning")
+	}
+	if lab.Resolver.Host().ChecksumErrors != 0 {
+		t.Errorf("resolver checksum errors: %d", lab.Resolver.Host().ChecksumErrors)
+	}
+}
+
+func TestBootTimeAttackNTPd(t *testing.T) {
+	res, err := RunBootTimeAttack(ntpclient.ProfileNTPd, LabConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Poisoned {
+		t.Fatal("poisoning did not land")
+	}
+	if !res.Shifted {
+		t.Fatalf("boot-time attack failed: offset=%v", res.ClockOffset)
+	}
+	if res.TimeToShift <= 0 || res.TimeToShift > 45*time.Minute {
+		t.Errorf("TimeToShift = %v", res.TimeToShift)
+	}
+}
+
+func TestBootTimeAttackSystemd(t *testing.T) {
+	res, err := RunBootTimeAttack(ntpclient.ProfileSystemd, LabConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Shifted {
+		t.Fatalf("systemd boot-time attack failed: offset=%v", res.ClockOffset)
+	}
+}
+
+func TestRuntimeAttackP1NTPd(t *testing.T) {
+	res, err := RunRuntimeAttack(ntpclient.ProfileNTPd, ScenarioP1, LabConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Synced {
+		t.Fatal("client never synced honestly")
+	}
+	if !res.Succeeded {
+		t.Fatalf("P1 attack failed: offset=%v lookups=%d", res.ClockOffset, res.DNSLookups)
+	}
+	if res.DNSLookups == 0 {
+		t.Error("no run-time DNS lookups recorded")
+	}
+	// Paper: 17 minutes. Accept the right order of magnitude.
+	if res.Duration < 5*time.Minute || res.Duration > 60*time.Minute {
+		t.Errorf("P1 duration = %v, want tens of minutes (paper: 17m)", res.Duration)
+	}
+}
+
+func TestRuntimeAttackP2NTPd(t *testing.T) {
+	res, err := RunRuntimeAttack(ntpclient.ProfileNTPd, ScenarioP2, LabConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded {
+		t.Fatalf("P2 attack failed: offset=%v", res.ClockOffset)
+	}
+	// P2 must be slower than P1 (sequential discovery).
+	p1, err := RunRuntimeAttack(ntpclient.ProfileNTPd, ScenarioP1, LabConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= p1.Duration {
+		t.Errorf("P2 (%v) should take longer than P1 (%v)", res.Duration, p1.Duration)
+	}
+}
+
+func TestRuntimeAttackOpenNTPDFails(t *testing.T) {
+	res, err := RunRuntimeAttack(ntpclient.ProfileOpenNTPD, ScenarioP1, LabConfig{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Succeeded {
+		t.Error("openntpd (no run-time DNS) should not be attackable at run-time")
+	}
+	if res.DNSLookups != 0 {
+		t.Errorf("openntpd did %d run-time lookups", res.DNSLookups)
+	}
+}
+
+func TestTableIMatchesPaper(t *testing.T) {
+	rows, err := TableI(LabConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]struct{ boot, run Applicability }{
+		"NTPd":              {Yes, Yes},
+		"openntpd":          {Yes, No},
+		"chrony":            {Yes, Yes},
+		"ntpdate":           {Yes, NotApplicable},
+		"Android":           {Yes, Yes},
+		"ntpclient":         {Yes, No},
+		"systemd-timesyncd": {Yes, Yes},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(want))
+	}
+	for _, row := range rows {
+		w, ok := want[row.Client]
+		if !ok {
+			t.Errorf("unexpected client %q", row.Client)
+			continue
+		}
+		if row.BootTime != w.boot {
+			t.Errorf("%s boot-time = %v, want %v", row.Client, row.BootTime, w.boot)
+		}
+		if row.RunTime != w.run {
+			t.Errorf("%s run-time = %v, want %v", row.Client, row.RunTime, w.run)
+		}
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four full run-time attacks")
+	}
+	rows, err := TableII(LabConfig{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]time.Duration{}
+	for _, r := range rows {
+		byKey[r.Client+"/"+r.Scenario.String()] = r.Duration
+	}
+	p1 := byKey["NTPd/P1"]
+	p2 := byKey["NTPd/P2"]
+	if p1 == 0 || p2 == 0 {
+		t.Fatalf("missing NTPd rows: %v", byKey)
+	}
+	if p2 <= p1 {
+		t.Errorf("NTPd P2 (%v) should exceed P1 (%v), as in the paper (47m vs 17m)", p2, p1)
+	}
+	if chrony := byKey["chrony/P1"]; chrony <= p1 {
+		t.Errorf("chrony P1 (%v) should exceed NTPd P1 (%v), as in the paper (57m vs 17m)", chrony, p1)
+	}
+}
+
+func TestChronosAttackWithinBound(t *testing.T) {
+	res, err := RunChronosAttack(5, 89, LabConfig{Seed: 9, HonestServers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound != 11 {
+		t.Errorf("bound = %d, want 11", res.Bound)
+	}
+	if !res.ControlsPool {
+		t.Fatalf("attacker does not control pool: %d/%d", res.EvilInPool, res.PoolSize)
+	}
+	if !res.Shifted {
+		t.Fatalf("Chronos clock not shifted: offset=%v", res.ClockOffset)
+	}
+}
+
+func TestChronosAttackBeyondBoundFails(t *testing.T) {
+	// With 30 honest servers and poisoning landing only after N=20 hourly
+	// queries, the attacker cannot reach 2/3 control.
+	res, err := RunChronosAttack(20, 89, LabConfig{Seed: 10, HonestServers: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ControlsPool {
+		t.Fatalf("attacker controls pool beyond the bound: %d/%d", res.EvilInPool, res.PoolSize)
+	}
+	if res.Shifted {
+		t.Errorf("Chronos shifted despite sub-2/3 control: offset=%v", res.ClockOffset)
+	}
+}
+
+func TestCampaignLowVolume(t *testing.T) {
+	// §IV-A: the planting approach requires "only one low bandwidth
+	// attacking host" — check the attack volume stays small.
+	lab, err := NewLab(LabConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign := lab.StartPoisonCampaign(30*time.Second, 0)
+	lab.Clock.RunFor(150 * time.Second) // one pool-record TTL window
+	campaign.Stop()
+	// ≤ 5 rounds (150/30) of (1 ICMP + 1 template + 2 probes + 16 frags).
+	if campaign.Rounds > 6 {
+		t.Errorf("rounds = %d, want ≤6", campaign.Rounds)
+	}
+	if lab.Eve.InjectedPackets > 6*25 {
+		t.Errorf("attack volume = %d packets per TTL window, want ≈≤150", lab.Eve.InjectedPackets)
+	}
+}

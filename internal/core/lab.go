@@ -1,0 +1,415 @@
+// Package core wires the full attack laboratory of the paper — victim
+// resolver, pool.ntp.org authoritative nameserver, honest and attacker NTP
+// servers, NTP/Chronos clients and the off-path attacker — and implements
+// the end-to-end experiments behind Tables I and II, the boot-time and
+// run-time attacks (Section IV/V) and the Chronos attack (Section VI).
+package core
+
+import (
+	"errors"
+	"time"
+
+	"dnstime/internal/attack"
+	"dnstime/internal/chronos"
+	"dnstime/internal/dnsauth"
+	"dnstime/internal/dnsres"
+	"dnstime/internal/dnswire"
+	"dnstime/internal/ipv4"
+	"dnstime/internal/ntpclient"
+	"dnstime/internal/ntpserv"
+	"dnstime/internal/simclock"
+	"dnstime/internal/simnet"
+)
+
+// Well-known lab addresses.
+var (
+	// NSAddr is the pool.ntp.org authoritative nameserver.
+	NSAddr = ipv4.MustParseAddr("198.51.100.53")
+	// ResolverAddr is the victim network's recursive resolver.
+	ResolverAddr = ipv4.MustParseAddr("192.0.2.53")
+	// AttackerAddr is the off-path attacker's vantage point.
+	AttackerAddr = ipv4.MustParseAddr("203.0.113.66")
+)
+
+// PoolDomain is the NTP server-discovery domain.
+const PoolDomain = "pool.ntp.org"
+
+// Errors returned by the lab.
+var (
+	ErrPoisoningFailed = errors.New("core: cache poisoning did not take effect")
+	ErrNotSynced       = errors.New("core: client failed to synchronise honestly")
+)
+
+// LabConfig sizes and parameterises the laboratory.
+type LabConfig struct {
+	// Seed drives every random choice (deterministic per seed).
+	Seed int64
+	// HonestServers is the honest pool size (default 8).
+	HonestServers int
+	// EvilServers is the number of attacker NTP servers (default 4).
+	EvilServers int
+	// EvilOffset is the time shift the attacker serves (default −500 s,
+	// the paper's lab value).
+	EvilOffset time.Duration
+	// RateLimitHonest enables rate limiting on every honest server
+	// (default true — the run-time attack's precondition; Section VII-A
+	// found 38% of real pool servers behave this way).
+	RateLimitHonest *bool
+	// PadResponses is the nameserver's response padding (default 400 B:
+	// large enough that every pool response carries a padding record whose
+	// bytes land in the second fragment — the attacker's checksum slack).
+	PadResponses int
+	// PoolTTL is the pool record TTL (default 150 s, as measured).
+	PoolTTL uint32
+	// ResolverValidatesDNSSEC enables validation at the victim resolver
+	// (default false; pool.ntp.org is unsigned so it would not help).
+	ResolverValidatesDNSSEC bool
+}
+
+func (c *LabConfig) applyDefaults() {
+	if c.HonestServers == 0 {
+		c.HonestServers = 8
+	}
+	if c.EvilServers == 0 {
+		c.EvilServers = 4
+	}
+	if c.EvilOffset == 0 {
+		c.EvilOffset = -500 * time.Second
+	}
+	if c.RateLimitHonest == nil {
+		t := true
+		c.RateLimitHonest = &t
+	}
+	if c.PadResponses == 0 {
+		c.PadResponses = 400
+	}
+	if c.PoolTTL == 0 {
+		c.PoolTTL = 150
+	}
+}
+
+// Lab is a fully wired attack laboratory.
+type Lab struct {
+	Clock    *simclock.Clock
+	Net      *simnet.Network
+	Auth     *dnsauth.Server
+	Resolver *dnsres.Resolver
+	Honest   []*ntpserv.Server
+	Evil     []*ntpserv.Server
+	Eve      *attack.Attacker
+
+	cfg        LabConfig
+	honestAddr []ipv4.Addr
+	evilAddr   []ipv4.Addr
+	nextClient byte
+	seedStep   int64
+}
+
+// NewLab builds the laboratory: nameserver serving pool.ntp.org backed by
+// the honest servers, victim resolver, attacker servers and attacker host.
+func NewLab(cfg LabConfig) (*Lab, error) {
+	cfg.applyDefaults()
+	clk := simclock.New(time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC))
+	net := simnet.New(clk)
+
+	authHost, err := net.AddHost(NSAddr, simnet.HostConfig{})
+	if err != nil {
+		return nil, err
+	}
+	auth, err := dnsauth.New(authHost, dnsauth.Config{PadResponsesTo: cfg.PadResponses})
+	if err != nil {
+		return nil, err
+	}
+	resHost, err := net.AddHost(ResolverAddr, simnet.HostConfig{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := dnsres.New(resHost, dnsres.Config{
+		Delegations:    map[string]ipv4.Addr{"ntp.org": NSAddr},
+		ValidateDNSSEC: cfg.ResolverValidatesDNSSEC,
+		RandSeed:       cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eveHost, err := net.AddHost(AttackerAddr, simnet.HostConfig{})
+	if err != nil {
+		return nil, err
+	}
+
+	l := &Lab{
+		Clock:    clk,
+		Net:      net,
+		Auth:     auth,
+		Resolver: res,
+		Eve:      attack.New(eveHost, cfg.Seed+2),
+		cfg:      cfg,
+	}
+	for i := 0; i < cfg.HonestServers; i++ {
+		if err := l.addHonest(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.EvilServers; i++ {
+		if err := l.addEvil(); err != nil {
+			return nil, err
+		}
+	}
+	// The pool answers with the full honest set per response, keeping the
+	// template predictable (rotation-vs-prediction is an ablation in
+	// internal/attack's tests and bench_test.go).
+	auth.AddPool(&dnsauth.Pool{
+		Name:        PoolDomain,
+		Addrs:       append([]ipv4.Addr(nil), l.honestAddr...),
+		PerResponse: len(l.honestAddr),
+		TTL:         cfg.PoolTTL,
+	})
+	return l, nil
+}
+
+// MustNewLab is NewLab for examples and benchmarks.
+func MustNewLab(cfg LabConfig) *Lab {
+	l, err := NewLab(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Config returns the lab configuration (with defaults applied).
+func (l *Lab) Config() LabConfig { return l.cfg }
+
+// HonestAddrs returns the honest NTP server addresses.
+func (l *Lab) HonestAddrs() []ipv4.Addr { return append([]ipv4.Addr(nil), l.honestAddr...) }
+
+// EvilAddrs returns the attacker NTP server addresses.
+func (l *Lab) EvilAddrs() []ipv4.Addr { return append([]ipv4.Addr(nil), l.evilAddr...) }
+
+func (l *Lab) addHonest() error {
+	addr := ipv4.Addr{10, 0, byte(len(l.honestAddr) >> 8), byte(len(l.honestAddr) + 1)}
+	host, err := l.Net.AddHost(addr, simnet.HostConfig{})
+	if err != nil {
+		return err
+	}
+	s, err := ntpserv.New(host, ntpserv.Config{
+		RateLimit: ntpserv.RateLimitConfig{Enabled: *l.cfg.RateLimitHonest},
+	})
+	if err != nil {
+		return err
+	}
+	l.Honest = append(l.Honest, s)
+	l.honestAddr = append(l.honestAddr, addr)
+	return nil
+}
+
+func (l *Lab) addEvil() error {
+	addr := ipv4.Addr{6, 6, byte(len(l.evilAddr) >> 8), byte(len(l.evilAddr) + 1)}
+	host, err := l.Net.AddHost(addr, simnet.HostConfig{})
+	if err != nil {
+		return err
+	}
+	s, err := ntpserv.New(host, ntpserv.Config{Offset: l.cfg.EvilOffset})
+	if err != nil {
+		return err
+	}
+	l.Evil = append(l.Evil, s)
+	l.evilAddr = append(l.evilAddr, addr)
+	return nil
+}
+
+// GrowEvil adds attacker NTP servers until the lab has n (Chronos needs
+// many).
+func (l *Lab) GrowEvil(n int) error {
+	for len(l.evilAddr) < n {
+		if err := l.addEvil(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NewClient attaches a fresh NTP client host running the given profile.
+func (l *Lab) NewClient(prof ntpclient.Profile, clockErr time.Duration) (*ntpclient.Client, error) {
+	l.nextClient++
+	l.seedStep++
+	addr := ipv4.Addr{192, 0, 2, 100 + l.nextClient}
+	host, err := l.Net.AddHost(addr, simnet.HostConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return ntpclient.New(host, prof, ResolverAddr, PoolDomain, clockErr, l.cfg.Seed+100+l.seedStep), nil
+}
+
+// NewChronos attaches a Chronos client host.
+func (l *Lab) NewChronos(cfg chronos.Config) (*chronos.Client, error) {
+	l.nextClient++
+	addr := ipv4.Addr{192, 0, 2, 100 + l.nextClient}
+	host, err := l.Net.AddHost(addr, simnet.HostConfig{})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = l.cfg.Seed + 500
+	}
+	return chronos.New(host, cfg, ResolverAddr, 0), nil
+}
+
+// Campaign is a running poisoning campaign (§IV-A option 3): every round it
+// re-probes the nameserver's IPID, rebuilds spoofed second fragments and
+// plants them in the resolver's defragmentation cache.
+type Campaign struct {
+	lab     *Lab
+	ticker  *simclock.Ticker
+	stopped bool
+	// Rounds counts planting rounds.
+	Rounds int
+	// TTL overrides record TTLs in the spoofed fragments (0 keeps them).
+	TTL uint32
+}
+
+// StartPoisonCampaign begins a planting campaign with the given round
+// interval (the paper uses 30 s, matching the Linux defragmentation cache
+// timeout).
+func (l *Lab) StartPoisonCampaign(interval time.Duration, ttl uint32) *Campaign {
+	c := &Campaign{lab: l, TTL: ttl}
+	round := func() {
+		if c.stopped {
+			return
+		}
+		c.Rounds++
+		c.plantOnce()
+	}
+	round()
+	c.ticker = l.Clock.Tick(interval, round)
+	return c
+}
+
+// Stop ends the campaign.
+func (c *Campaign) Stop() {
+	c.stopped = true
+	c.ticker.Stop()
+}
+
+// plantOnce runs one §III round: fetch template, probe IPID, build spoofed
+// fragments, inject.
+func (c *Campaign) plantOnce() {
+	l := c.lab
+	l.Eve.ForceFragmentation(NSAddr, ResolverAddr, 68)
+	l.Eve.FetchTemplate(NSAddr, PoolDomain, func(template []byte, err error) {
+		if err != nil {
+			return
+		}
+		l.Eve.ProbeIPIDs(NSAddr, PoolDomain, 2, 200*time.Millisecond, func(ids []uint16, err error) {
+			if err != nil {
+				return
+			}
+			frags, err := attack.BuildSpoofedFragments(attack.PoisonPlan{
+				NS:        NSAddr,
+				Resolver:  ResolverAddr,
+				Template:  template,
+				Malicious: l.evilAddr,
+				TTL:       c.TTL,
+				MTU:       68,
+				IPIDs:     attack.PredictIPIDs(ids, 1, 16),
+			})
+			if err != nil {
+				return
+			}
+			for _, f := range frags {
+				l.Eve.Inject(f)
+			}
+		})
+	})
+}
+
+// PoisonResolver performs one complete poisoning: plant, trigger the
+// resolver's query from the attacker's own host (the open-resolver /
+// shared-system trigger of §IV-A), and verify the malicious record landed.
+// A round takes ≈3 s (ICMP + template fetch + two IPID probes + planting);
+// up to five trigger attempts are made, re-planting between them.
+func (l *Lab) PoisonResolver(ttl uint32) error {
+	campaign := l.StartPoisonCampaign(30*time.Second, ttl)
+	defer campaign.Stop()
+	for attempt := 0; attempt < 5; attempt++ {
+		// Let the current planting round finish.
+		l.Clock.RunFor(5 * time.Second)
+		l.Resolver.Evict(PoolDomain, dnswire.TypeA)
+		l.Eve.TriggerOpenResolverQuery(ResolverAddr, PoolDomain)
+		l.Clock.RunFor(5 * time.Second)
+		if l.CachePoisoned() {
+			return nil
+		}
+		// Wait out the rest of the round and try again.
+		l.Clock.RunFor(25 * time.Second)
+	}
+	return ErrPoisoningFailed
+}
+
+// CachePoisoned reports whether the resolver's pool.ntp.org entry currently
+// maps to an attacker server.
+func (l *Lab) CachePoisoned() bool {
+	entry, ok := l.Resolver.Peek(PoolDomain, dnswire.TypeA)
+	if !ok {
+		return false
+	}
+	evil := make(map[ipv4.Addr]bool, len(l.evilAddr))
+	for _, a := range l.evilAddr {
+		evil[a] = true
+	}
+	for _, rr := range entry.RRs {
+		if rr.Type == dnswire.TypeA && evil[rr.Addr] {
+			return true
+		}
+	}
+	return false
+}
+
+// FloodAllHonest starts rate-limit-abuse floods against every honest server
+// on behalf of victim; the returned stop function ends them.
+func (l *Lab) FloodAllHonest(victim ipv4.Addr) func() {
+	stops := make([]func(), 0, len(l.Honest))
+	for _, s := range l.Honest {
+		stops = append(stops, l.Eve.RateLimitFlood(s.Addr(), victim, 20*time.Second))
+	}
+	return func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}
+}
+
+// isHonest reports whether addr is one of the lab's honest servers.
+func (l *Lab) isHonest(addr ipv4.Addr) bool {
+	for _, a := range l.honestAddr {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// evilRRSet builds the poisoned RRset used by the Chronos experiment.
+func (l *Lab) evilRRSet(ttl uint32) []dnswire.RR {
+	rrs := make([]dnswire.RR, 0, len(l.evilAddr))
+	for _, a := range l.evilAddr {
+		rrs = append(rrs, dnswire.RR{
+			Name: PoolDomain, Type: dnswire.TypeA, Class: dnswire.ClassIN,
+			TTL: ttl, Addr: a,
+		})
+	}
+	return rrs
+}
+
+func waitUntil(clk *simclock.Clock, limit time.Duration, cond func() bool) (time.Duration, bool) {
+	start := clk.Now()
+	deadline := start.Add(limit)
+	for !cond() {
+		if !clk.Now().Before(deadline) {
+			return limit, false
+		}
+		if !clk.Step() {
+			return clk.Now().Sub(start), cond()
+		}
+	}
+	return clk.Now().Sub(start), true
+}

@@ -1,0 +1,530 @@
+// Package dnswire implements the DNS message wire format (RFC 1035): the
+// 12-byte header with its challenge-response TXID, questions, and resource
+// records with name compression. The encoding is byte-accurate so that
+// response sizes, fragmentation points and checksum arithmetic in the
+// poisoning attack behave as they do on the wire.
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"dnstime/internal/ipv4"
+)
+
+// Type is a DNS RR type.
+type Type uint16
+
+// RR types used in the simulation.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypeTXT   Type = 16
+	TypeRRSIG Type = 46
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypeTXT:
+		return "TXT"
+	case TypeRRSIG:
+		return "RRSIG"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// Class is a DNS class; only IN is used.
+type Class uint16
+
+// ClassIN is the Internet class.
+const ClassIN Class = 1
+
+// RCode is a DNS response code.
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeRefused  RCode = 5
+)
+
+// Header is the DNS message header. ID is the 16-bit transaction identifier
+// (TXID) — one half of the challenge-response defence the fragmentation
+// attack bypasses.
+type Header struct {
+	ID     uint16
+	QR     bool // response
+	Opcode uint8
+	AA     bool // authoritative answer
+	TC     bool // truncated
+	RD     bool // recursion desired
+	RA     bool // recursion available
+	AD     bool // authentic data (DNSSEC validated)
+	RCode  RCode
+}
+
+// Question is a DNS question.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// RR is a resource record. The payload field used depends on Type:
+// A uses Addr; NS and CNAME use Target; TXT uses Text; anything else
+// round-trips through Raw.
+type RR struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+
+	Addr   ipv4.Addr // TypeA
+	Target string    // TypeNS, TypeCNAME
+	Text   string    // TypeTXT
+	Raw    []byte    // other types (e.g. TypeRRSIG)
+}
+
+// String renders the record in zone-file-like form.
+func (r RR) String() string {
+	switch r.Type {
+	case TypeA:
+		return fmt.Sprintf("%s %d IN A %s", r.Name, r.TTL, r.Addr)
+	case TypeNS, TypeCNAME:
+		return fmt.Sprintf("%s %d IN %s %s", r.Name, r.TTL, r.Type, r.Target)
+	case TypeTXT:
+		return fmt.Sprintf("%s %d IN TXT %q", r.Name, r.TTL, r.Text)
+	default:
+		return fmt.Sprintf("%s %d IN %s [%d bytes]", r.Name, r.TTL, r.Type, len(r.Raw))
+	}
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// Errors returned by decoding.
+var (
+	ErrShortMessage = errors.New("dnswire: truncated message")
+	ErrBadName      = errors.New("dnswire: malformed name")
+	ErrBadPointer   = errors.New("dnswire: compression pointer loop")
+)
+
+// CanonicalName lowercases a name and strips any trailing dot; the root is
+// the empty string.
+func CanonicalName(name string) string {
+	return strings.TrimSuffix(strings.ToLower(name), ".")
+}
+
+// header flag bit masks (within the 16-bit flags word).
+const (
+	flagQR = 1 << 15
+	flagAA = 1 << 10
+	flagTC = 1 << 9
+	flagRD = 1 << 8
+	flagRA = 1 << 7
+	flagAD = 1 << 5
+)
+
+type encoder struct {
+	buf     []byte
+	offsets map[string]int // name -> first encoded offset, for compression
+}
+
+func (e *encoder) uint16(v uint16) {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) uint32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+// name encodes a domain name with RFC 1035 §4.1.4 compression.
+func (e *encoder) name(n string) error {
+	n = CanonicalName(n)
+	for n != "" {
+		if off, ok := e.offsets[n]; ok && off < 0x4000 {
+			e.uint16(uint16(0xC000 | off))
+			return nil
+		}
+		if len(e.buf) < 0x4000 {
+			e.offsets[n] = len(e.buf)
+		}
+		label := n
+		rest := ""
+		if i := strings.IndexByte(n, '.'); i >= 0 {
+			label, rest = n[:i], n[i+1:]
+		}
+		if len(label) == 0 || len(label) > 63 {
+			return fmt.Errorf("%w: label %q", ErrBadName, label)
+		}
+		e.buf = append(e.buf, byte(len(label)))
+		e.buf = append(e.buf, label...)
+		n = rest
+	}
+	e.buf = append(e.buf, 0)
+	return nil
+}
+
+func (e *encoder) rr(r RR) error {
+	if err := e.name(r.Name); err != nil {
+		return err
+	}
+	e.uint16(uint16(r.Type))
+	cl := r.Class
+	if cl == 0 {
+		cl = ClassIN
+	}
+	e.uint16(uint16(cl))
+	e.uint32(r.TTL)
+	// RDLENGTH placeholder.
+	lenAt := len(e.buf)
+	e.uint16(0)
+	start := len(e.buf)
+	switch r.Type {
+	case TypeA:
+		e.buf = append(e.buf, r.Addr[:]...)
+	case TypeNS, TypeCNAME:
+		if err := e.name(r.Target); err != nil {
+			return err
+		}
+	case TypeTXT:
+		txt := r.Text
+		for len(txt) > 255 {
+			e.buf = append(e.buf, 255)
+			e.buf = append(e.buf, txt[:255]...)
+			txt = txt[255:]
+		}
+		e.buf = append(e.buf, byte(len(txt)))
+		e.buf = append(e.buf, txt...)
+	default:
+		e.buf = append(e.buf, r.Raw...)
+	}
+	binary.BigEndian.PutUint16(e.buf[lenAt:lenAt+2], uint16(len(e.buf)-start))
+	return nil
+}
+
+// Marshal encodes the message to wire format.
+func (m *Message) Marshal() ([]byte, error) {
+	e := &encoder{offsets: make(map[string]int)}
+	e.uint16(m.Header.ID)
+	var flags uint16
+	if m.Header.QR {
+		flags |= flagQR
+	}
+	flags |= uint16(m.Header.Opcode&0xF) << 11
+	if m.Header.AA {
+		flags |= flagAA
+	}
+	if m.Header.TC {
+		flags |= flagTC
+	}
+	if m.Header.RD {
+		flags |= flagRD
+	}
+	if m.Header.RA {
+		flags |= flagRA
+	}
+	if m.Header.AD {
+		flags |= flagAD
+	}
+	flags |= uint16(m.Header.RCode) & 0xF
+	e.uint16(flags)
+	e.uint16(uint16(len(m.Questions)))
+	e.uint16(uint16(len(m.Answers)))
+	e.uint16(uint16(len(m.Authority)))
+	e.uint16(uint16(len(m.Additional)))
+	for _, q := range m.Questions {
+		if err := e.name(q.Name); err != nil {
+			return nil, err
+		}
+		e.uint16(uint16(q.Type))
+		cl := q.Class
+		if cl == 0 {
+			cl = ClassIN
+		}
+		e.uint16(uint16(cl))
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, r := range sec {
+			if err := e.rr(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) uint16() (uint16, error) {
+	if d.pos+2 > len(d.buf) {
+		return 0, ErrShortMessage
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.pos:])
+	d.pos += 2
+	return v, nil
+}
+
+func (d *decoder) uint32() (uint32, error) {
+	if d.pos+4 > len(d.buf) {
+		return 0, ErrShortMessage
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+// name decodes a possibly-compressed domain name starting at d.pos.
+func (d *decoder) name() (string, error) {
+	var labels []string
+	pos := d.pos
+	jumped := false
+	hops := 0
+	for {
+		if pos >= len(d.buf) {
+			return "", ErrShortMessage
+		}
+		c := d.buf[pos]
+		switch {
+		case c == 0:
+			if !jumped {
+				d.pos = pos + 1
+			}
+			return strings.Join(labels, "."), nil
+		case c&0xC0 == 0xC0:
+			if pos+2 > len(d.buf) {
+				return "", ErrShortMessage
+			}
+			if hops++; hops > 32 {
+				return "", ErrBadPointer
+			}
+			target := int(binary.BigEndian.Uint16(d.buf[pos:]) & 0x3FFF)
+			if !jumped {
+				d.pos = pos + 2
+				jumped = true
+			}
+			if target >= pos {
+				return "", ErrBadPointer
+			}
+			pos = target
+		case c&0xC0 != 0:
+			return "", ErrBadName
+		default:
+			if pos+1+int(c) > len(d.buf) {
+				return "", ErrShortMessage
+			}
+			labels = append(labels, strings.ToLower(string(d.buf[pos+1:pos+1+int(c)])))
+			pos += 1 + int(c)
+			if !jumped {
+				d.pos = pos
+			}
+		}
+	}
+}
+
+func (d *decoder) rr() (RR, error) {
+	var r RR
+	name, err := d.name()
+	if err != nil {
+		return r, err
+	}
+	r.Name = name
+	t, err := d.uint16()
+	if err != nil {
+		return r, err
+	}
+	r.Type = Type(t)
+	cl, err := d.uint16()
+	if err != nil {
+		return r, err
+	}
+	r.Class = Class(cl)
+	ttl, err := d.uint32()
+	if err != nil {
+		return r, err
+	}
+	r.TTL = ttl
+	rdlen, err := d.uint16()
+	if err != nil {
+		return r, err
+	}
+	if d.pos+int(rdlen) > len(d.buf) {
+		return r, ErrShortMessage
+	}
+	end := d.pos + int(rdlen)
+	switch r.Type {
+	case TypeA:
+		if rdlen != 4 {
+			return r, fmt.Errorf("dnswire: A rdlength %d", rdlen)
+		}
+		copy(r.Addr[:], d.buf[d.pos:end])
+		d.pos = end
+	case TypeNS, TypeCNAME:
+		target, err := d.name()
+		if err != nil {
+			return r, err
+		}
+		r.Target = target
+		d.pos = end
+	case TypeTXT:
+		var sb strings.Builder
+		for p := d.pos; p < end; {
+			l := int(d.buf[p])
+			if p+1+l > end {
+				return r, ErrShortMessage
+			}
+			sb.Write(d.buf[p+1 : p+1+l])
+			p += 1 + l
+		}
+		r.Text = sb.String()
+		d.pos = end
+	default:
+		r.Raw = append([]byte(nil), d.buf[d.pos:end]...)
+		d.pos = end
+	}
+	return r, nil
+}
+
+// Unmarshal decodes a wire-format DNS message.
+func Unmarshal(b []byte) (*Message, error) {
+	if len(b) < 12 {
+		return nil, ErrShortMessage
+	}
+	d := &decoder{buf: b}
+	var m Message
+	id, _ := d.uint16()
+	flags, _ := d.uint16()
+	m.Header = Header{
+		ID:     id,
+		QR:     flags&flagQR != 0,
+		Opcode: uint8(flags >> 11 & 0xF),
+		AA:     flags&flagAA != 0,
+		TC:     flags&flagTC != 0,
+		RD:     flags&flagRD != 0,
+		RA:     flags&flagRA != 0,
+		AD:     flags&flagAD != 0,
+		RCode:  RCode(flags & 0xF),
+	}
+	qd, _ := d.uint16()
+	an, _ := d.uint16()
+	ns, _ := d.uint16()
+	ar, err := d.uint16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(qd); i++ {
+		name, err := d.name()
+		if err != nil {
+			return nil, err
+		}
+		t, err := d.uint16()
+		if err != nil {
+			return nil, err
+		}
+		cl, err := d.uint16()
+		if err != nil {
+			return nil, err
+		}
+		m.Questions = append(m.Questions, Question{Name: name, Type: Type(t), Class: Class(cl)})
+	}
+	for _, sec := range []struct {
+		n   int
+		dst *[]RR
+	}{{int(an), &m.Answers}, {int(ns), &m.Authority}, {int(ar), &m.Additional}} {
+		for i := 0; i < sec.n; i++ {
+			r, err := d.rr()
+			if err != nil {
+				return nil, err
+			}
+			*sec.dst = append(*sec.dst, r)
+		}
+	}
+	return &m, nil
+}
+
+// NewQuery builds a standard recursive query for (name, type).
+func NewQuery(id uint16, name string, t Type, rd bool) *Message {
+	return &Message{
+		Header:    Header{ID: id, RD: rd},
+		Questions: []Question{{Name: CanonicalName(name), Type: t, Class: ClassIN}},
+	}
+}
+
+// NewResponse builds a response skeleton matching a query.
+func NewResponse(q *Message) *Message {
+	r := &Message{Header: Header{ID: q.Header.ID, QR: true, RD: q.Header.RD}}
+	r.Questions = append(r.Questions, q.Questions...)
+	return r
+}
+
+// AddrsInAnswer extracts the A-record addresses from the answer section for
+// the given (canonicalised) name, following at most one CNAME hop.
+func (m *Message) AddrsInAnswer(name string) []ipv4.Addr {
+	name = CanonicalName(name)
+	target := name
+	for _, rr := range m.Answers {
+		if rr.Type == TypeCNAME && CanonicalName(rr.Name) == target {
+			target = CanonicalName(rr.Target)
+		}
+	}
+	var out []ipv4.Addr
+	for _, rr := range m.Answers {
+		if rr.Type == TypeA && (CanonicalName(rr.Name) == name || CanonicalName(rr.Name) == target) {
+			out = append(out, rr.Addr)
+		}
+	}
+	return out
+}
+
+// MaxARecords reports how many A records for name fit in a response of at
+// most maxSize bytes (a single question, name compression in effect). This
+// is the bound behind the paper's "up to 89 addresses in a single
+// non-fragmented UDP response" (Section VI-C).
+func MaxARecords(name string, maxSize int) int {
+	m := &Message{
+		Header:    Header{QR: true},
+		Questions: []Question{{Name: name, Type: TypeA, Class: ClassIN}},
+	}
+	n := 0
+	for {
+		m.Answers = append(m.Answers, RR{
+			Name: name, Type: TypeA, Class: ClassIN, TTL: 86400 * 2,
+			Addr: ipv4.Addr{6, 6, byte(n >> 8), byte(n)},
+		})
+		b, err := m.Marshal()
+		if err != nil || len(b) > maxSize {
+			return n
+		}
+		n++
+	}
+}

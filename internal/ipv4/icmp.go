@@ -1,0 +1,124 @@
+package ipv4
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"dnstime/internal/simclock"
+)
+
+// ICMP type/code values used in the simulation.
+const (
+	ICMPDestUnreachable = 3
+	ICMPCodeFragNeeded  = 4
+)
+
+// ErrShortICMP is returned when an ICMP payload cannot be parsed.
+var ErrShortICMP = errors.New("ipv4: short icmp message")
+
+// ICMPFragNeeded is a Destination Unreachable / Fragmentation Needed
+// message (type 3, code 4). The attacker spoofs one of these, claiming to
+// come from a router on the path from the nameserver to the victim
+// resolver, to force the nameserver to fragment its DNS responses down to
+// NextHopMTU (Section III-1).
+type ICMPFragNeeded struct {
+	NextHopMTU uint16
+	// The embedded original header: who the "too big" packet was from/to.
+	OrigSrc   Addr
+	OrigDst   Addr
+	OrigProto Protocol
+}
+
+// icmpFragNeededLen is the encoded length of an ICMPFragNeeded message.
+const icmpFragNeededLen = 17
+
+// Marshal encodes the message as an IP payload.
+func (m *ICMPFragNeeded) Marshal() []byte {
+	b := make([]byte, icmpFragNeededLen)
+	b[0] = ICMPDestUnreachable
+	b[1] = ICMPCodeFragNeeded
+	binary.BigEndian.PutUint16(b[6:8], m.NextHopMTU)
+	copy(b[8:12], m.OrigSrc[:])
+	copy(b[12:16], m.OrigDst[:])
+	b[16] = byte(m.OrigProto)
+	return b
+}
+
+// ParseICMPFragNeeded decodes an ICMP payload. It returns (nil, nil) for
+// well-formed ICMP messages of other types.
+func ParseICMPFragNeeded(b []byte) (*ICMPFragNeeded, error) {
+	if len(b) < 2 {
+		return nil, ErrShortICMP
+	}
+	if b[0] != ICMPDestUnreachable || b[1] != ICMPCodeFragNeeded {
+		return nil, nil
+	}
+	if len(b) < icmpFragNeededLen {
+		return nil, ErrShortICMP
+	}
+	m := &ICMPFragNeeded{NextHopMTU: binary.BigEndian.Uint16(b[6:8])}
+	copy(m.OrigSrc[:], b[8:12])
+	copy(m.OrigDst[:], b[12:16])
+	m.OrigProto = Protocol(b[16])
+	return m, nil
+}
+
+// PMTUCache is a host's per-destination path-MTU table, updated by ICMP
+// Fragmentation Needed messages and consulted on every send. Entries expire
+// (RFC 1191 suggests ~10 minutes), after which the path MTU reverts to the
+// interface default.
+type PMTUCache struct {
+	clock *simclock.Clock
+	// MinAccepted is the lowest MTU the host will honour from an ICMP.
+	// Many stacks clamp to 552 or 576; permissive ones accept down to 68.
+	MinAccepted int
+	// TTL is the entry lifetime.
+	TTL     time.Duration
+	entries map[Addr]pmtuEntry
+}
+
+type pmtuEntry struct {
+	mtu     int
+	expires time.Time
+}
+
+// NewPMTUCache returns a PMTU cache with the given acceptance floor.
+func NewPMTUCache(clock *simclock.Clock, minAccepted int) *PMTUCache {
+	if minAccepted < MinMTU {
+		minAccepted = MinMTU
+	}
+	return &PMTUCache{
+		clock:       clock,
+		MinAccepted: minAccepted,
+		TTL:         10 * time.Minute,
+		entries:     make(map[Addr]pmtuEntry),
+	}
+}
+
+// Update records an MTU learned for dst. It reports whether the update was
+// accepted (MTUs below the acceptance floor are ignored, modelling stacks
+// that clamp or discard tiny-MTU ICMPs).
+func (c *PMTUCache) Update(dst Addr, mtu int) bool {
+	if mtu < c.MinAccepted {
+		return false
+	}
+	cur, ok := c.entries[dst]
+	now := c.clock.Now()
+	if ok && now.Before(cur.expires) && mtu >= cur.mtu {
+		// Never raise the path MTU from an ICMP; only a timeout does.
+		return false
+	}
+	c.entries[dst] = pmtuEntry{mtu: mtu, expires: now.Add(c.TTL)}
+	return true
+}
+
+// MTU returns the current path MTU toward dst, or DefaultMTU when no live
+// entry exists.
+func (c *PMTUCache) MTU(dst Addr) int {
+	e, ok := c.entries[dst]
+	if !ok || c.clock.Now().After(e.expires) {
+		return DefaultMTU
+	}
+	return e.mtu
+}

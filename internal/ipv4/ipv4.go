@@ -1,0 +1,232 @@
+// Package ipv4 models the parts of IPv4 that the fragment-replacement
+// attack exploits (Section III of the paper): packet identification (IPID),
+// fragmentation, the receiver-side defragmentation cache with its per-OS
+// timeout and capacity policies, path-MTU discovery state, and the ICMP
+// Destination Unreachable / Fragmentation Needed message the attacker spoofs
+// to force nameservers to fragment.
+package ipv4
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Wire constants.
+const (
+	HeaderLen  = 20   // bytes, no options
+	DefaultMTU = 1500 // Ethernet
+	MinMTU     = 68   // RFC 791 minimum; the smallest MTU an ICMP can force
+	DefaultTTL = 64
+)
+
+// Protocol is an IP protocol number.
+type Protocol uint8
+
+// Protocol numbers used in the simulation.
+const (
+	ProtoICMP Protocol = 1
+	ProtoUDP  Protocol = 17
+)
+
+// String returns the conventional protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoICMP:
+		return "icmp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return "proto(" + strconv.Itoa(int(p)) + ")"
+	}
+}
+
+// Addr is an IPv4 address.
+type Addr [4]byte
+
+// String formats the address in dotted-quad notation.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// IsZero reports whether the address is 0.0.0.0.
+func (a Addr) IsZero() bool { return a == Addr{} }
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return Addr{}, fmt.Errorf("ipv4: bad address %q", s)
+	}
+	var a Addr
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return Addr{}, fmt.Errorf("ipv4: bad address %q", s)
+		}
+		a[i] = byte(v)
+	}
+	return a, nil
+}
+
+// MustParseAddr is ParseAddr for constant addresses; it panics on bad input
+// and is intended for test and example setup only.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Packet is an IPv4 packet (or fragment thereof). FragOff is in bytes and
+// must be a multiple of 8 for non-final fragments, as on the wire.
+type Packet struct {
+	Src     Addr
+	Dst     Addr
+	ID      uint16
+	Proto   Protocol
+	TTL     uint8
+	DF      bool // don't fragment
+	MF      bool // more fragments
+	FragOff int  // bytes
+	Payload []byte
+}
+
+// IsFragment reports whether the packet is one fragment of a larger packet.
+func (p *Packet) IsFragment() bool { return p.MF || p.FragOff > 0 }
+
+// TotalLen returns the on-wire length of this packet including the header.
+func (p *Packet) TotalLen() int { return HeaderLen + len(p.Payload) }
+
+// Clone returns a deep copy of the packet.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Payload = append([]byte(nil), p.Payload...)
+	return &q
+}
+
+// String renders a compact one-line description, used by packet traces.
+func (p *Packet) String() string {
+	frag := ""
+	if p.IsFragment() {
+		frag = fmt.Sprintf(" frag(off=%d,mf=%t)", p.FragOff, p.MF)
+	}
+	return fmt.Sprintf("%s > %s %s id=%d len=%d%s", p.Src, p.Dst, p.Proto, p.ID, p.TotalLen(), frag)
+}
+
+// Errors returned by fragmentation.
+var (
+	ErrFragNeeded = errors.New("ipv4: fragmentation needed but DF set")
+	ErrBadMTU     = errors.New("ipv4: MTU below minimum")
+)
+
+// Fragment splits p into fragments that fit mtu. If p already fits, a single
+// clone is returned. If DF is set and p does not fit, ErrFragNeeded is
+// returned — the caller is expected to emit an ICMP Fragmentation Needed.
+func Fragment(p *Packet, mtu int) ([]*Packet, error) {
+	if mtu < MinMTU {
+		return nil, fmt.Errorf("%w: %d", ErrBadMTU, mtu)
+	}
+	if p.TotalLen() <= mtu {
+		return []*Packet{p.Clone()}, nil
+	}
+	if p.DF {
+		return nil, ErrFragNeeded
+	}
+	chunk := (mtu - HeaderLen) &^ 7 // fragment data sizes are multiples of 8
+	if chunk <= 0 {
+		return nil, fmt.Errorf("%w: %d leaves no payload room", ErrBadMTU, mtu)
+	}
+	var frags []*Packet
+	for off := 0; off < len(p.Payload); off += chunk {
+		end := off + chunk
+		last := false
+		if end >= len(p.Payload) {
+			end = len(p.Payload)
+			last = true
+		}
+		f := &Packet{
+			Src:     p.Src,
+			Dst:     p.Dst,
+			ID:      p.ID,
+			Proto:   p.Proto,
+			TTL:     p.TTL,
+			MF:      !last,
+			FragOff: p.FragOff + off,
+			Payload: append([]byte(nil), p.Payload[off:end]...),
+		}
+		frags = append(frags, f)
+	}
+	return frags, nil
+}
+
+// IDAllocator chooses the IPID for outgoing packets. The predictability of
+// this choice is exactly what the attacker's IPID-extrapolation step
+// (Section III-2) exploits.
+type IDAllocator interface {
+	// Next returns the IPID for a packet from src to dst.
+	Next(src, dst Addr) uint16
+}
+
+// SequentialAllocator increments one global counter for every packet sent,
+// regardless of destination — the most predictable behaviour, common in
+// older stacks. The zero value starts at 0 with step 1.
+type SequentialAllocator struct {
+	Counter uint16
+	Step    uint16
+}
+
+var _ IDAllocator = (*SequentialAllocator)(nil)
+
+// Next returns the next global IPID.
+func (a *SequentialAllocator) Next(_, _ Addr) uint16 {
+	step := a.Step
+	if step == 0 {
+		step = 1
+	}
+	id := a.Counter
+	a.Counter += step
+	return id
+}
+
+// PerDestAllocator keeps an independent counter per destination address, as
+// in patched Linux. Probing from the attacker's own host does not advance
+// the counter used toward the victim, so prediction requires the
+// per-destination techniques of [9], [29].
+type PerDestAllocator struct {
+	counters map[Addr]uint16
+}
+
+var _ IDAllocator = (*PerDestAllocator)(nil)
+
+// Next returns the next IPID for dst.
+func (a *PerDestAllocator) Next(_, dst Addr) uint16 {
+	if a.counters == nil {
+		a.counters = make(map[Addr]uint16)
+	}
+	id := a.counters[dst]
+	a.counters[dst] = id + 1
+	return id
+}
+
+// RandomAllocator draws IPIDs from a deterministic pseudo-random stream
+// (seeded, so experiments stay reproducible). Random IPIDs defeat
+// extrapolation; the attacker must flood the defrag cache instead.
+type RandomAllocator struct {
+	State uint64 // seed / internal state; zero means 1
+}
+
+var _ IDAllocator = (*RandomAllocator)(nil)
+
+// Next returns a pseudo-random IPID (xorshift64*).
+func (a *RandomAllocator) Next(_, _ Addr) uint16 {
+	if a.State == 0 {
+		a.State = 1
+	}
+	a.State ^= a.State << 13
+	a.State ^= a.State >> 7
+	a.State ^= a.State << 17
+	return uint16(a.State * 0x2545F4914F6CDD1D >> 48)
+}

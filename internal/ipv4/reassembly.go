@@ -1,0 +1,223 @@
+package ipv4
+
+import (
+	"time"
+
+	"dnstime/internal/simclock"
+)
+
+// OverlapPolicy determines which bytes win when fragments overlap in the
+// defragmentation cache.
+type OverlapPolicy int
+
+// Overlap policies.
+const (
+	// FirstWins keeps the bytes of the fragment that arrived first — the
+	// behaviour the attack relies on: a spoofed second fragment planted in
+	// the cache beats the real second fragment that arrives later.
+	FirstWins OverlapPolicy = iota + 1
+	// LastWins lets later fragments overwrite earlier bytes.
+	LastWins
+)
+
+// ReassemblyPolicy captures the OS-specific defragmentation cache behaviour
+// measured in Section IV-A.
+type ReassemblyPolicy struct {
+	// Timeout is how long an incomplete bucket is retained. Linux: 30 s;
+	// Windows: 60–120 s; RFC 2460 specifies 60 s.
+	Timeout time.Duration
+	// MaxPerPair bounds the number of concurrent reassembly buckets (one
+	// per IPID) per (src,dst,proto) pair — i.e. how many "identical
+	// fragments, each with a different IPID value" the attacker can park.
+	// Windows allows 100, patched Linux 64.
+	MaxPerPair int
+	// Overlap selects the byte-overlap resolution policy.
+	Overlap OverlapPolicy
+}
+
+// Predefined policies from the paper's measurements.
+var (
+	// LinuxPolicy models a patched Linux stack: 30 s timeout, 64 buckets.
+	LinuxPolicy = ReassemblyPolicy{Timeout: 30 * time.Second, MaxPerPair: 64, Overlap: FirstWins}
+	// WindowsPolicy models Windows: 60 s timeout, 100 buckets.
+	WindowsPolicy = ReassemblyPolicy{Timeout: 60 * time.Second, MaxPerPair: 100, Overlap: FirstWins}
+	// RFCPolicy is the RFC 2460 default of 60 s with a generous bucket cap.
+	RFCPolicy = ReassemblyPolicy{Timeout: 60 * time.Second, MaxPerPair: 1024, Overlap: FirstWins}
+)
+
+// ReassemblyStats counts cache activity for measurements and tests.
+type ReassemblyStats struct {
+	FragmentsIn  int // fragments accepted into the cache
+	FragmentsOut int // fragments rejected (bucket cap)
+	Reassembled  int // packets completed
+	Expired      int // buckets dropped on timeout
+}
+
+// Reassembler is an IPv4 defragmentation cache driven by a virtual clock.
+type Reassembler struct {
+	clock   *simclock.Clock
+	policy  ReassemblyPolicy
+	buckets map[bucketKey]*bucket
+	perPair map[pairKey]int
+	stats   ReassemblyStats
+}
+
+type bucketKey struct {
+	src, dst Addr
+	proto    Protocol
+	id       uint16
+}
+
+type pairKey struct {
+	src, dst Addr
+	proto    Protocol
+}
+
+type fragment struct {
+	off  int
+	data []byte
+}
+
+type bucket struct {
+	frags    []fragment // in arrival order
+	totalLen int        // -1 until the MF=0 fragment arrives
+	expiry   *simclock.Timer
+}
+
+// NewReassembler returns a defragmentation cache using the given policy.
+func NewReassembler(clock *simclock.Clock, policy ReassemblyPolicy) *Reassembler {
+	if policy.Overlap == 0 {
+		policy.Overlap = FirstWins
+	}
+	if policy.Timeout == 0 {
+		policy.Timeout = 30 * time.Second
+	}
+	if policy.MaxPerPair == 0 {
+		policy.MaxPerPair = 64
+	}
+	return &Reassembler{
+		clock:   clock,
+		policy:  policy,
+		buckets: make(map[bucketKey]*bucket),
+		perPair: make(map[pairKey]int),
+	}
+}
+
+// Stats returns a snapshot of cache counters.
+func (r *Reassembler) Stats() ReassemblyStats { return r.stats }
+
+// PendingBuckets reports the number of incomplete reassembly buckets for a
+// (src,dst,proto) pair — what the attacker is filling when it plants
+// fragments under many candidate IPIDs.
+func (r *Reassembler) PendingBuckets(src, dst Addr, proto Protocol) int {
+	return r.perPair[pairKey{src, dst, proto}]
+}
+
+// Add feeds one packet into the cache. Non-fragments are returned
+// immediately. Fragments are buffered; when a datagram completes, the
+// reassembled packet is returned. The boolean reports whether a full packet
+// is being returned.
+func (r *Reassembler) Add(p *Packet) (*Packet, bool) {
+	if !p.IsFragment() {
+		return p, true
+	}
+	key := bucketKey{p.Src, p.Dst, p.Proto, p.ID}
+	pair := pairKey{p.Src, p.Dst, p.Proto}
+	b, ok := r.buckets[key]
+	if !ok {
+		if r.perPair[pair] >= r.policy.MaxPerPair {
+			r.stats.FragmentsOut++
+			return nil, false
+		}
+		b = &bucket{totalLen: -1}
+		b.expiry = r.clock.Schedule(r.policy.Timeout, func() {
+			r.dropBucket(key, pair)
+			r.stats.Expired++
+		})
+		r.buckets[key] = b
+		r.perPair[pair]++
+	}
+	r.stats.FragmentsIn++
+	b.frags = append(b.frags, fragment{off: p.FragOff, data: append([]byte(nil), p.Payload...)})
+	if !p.MF {
+		end := p.FragOff + len(p.Payload)
+		if b.totalLen < 0 || end < b.totalLen {
+			b.totalLen = end
+		}
+	}
+	payload, done := b.assemble(r.policy.Overlap)
+	if !done {
+		return nil, false
+	}
+	b.expiry.Stop()
+	r.dropBucket(key, pair)
+	r.stats.Reassembled++
+	whole := &Packet{
+		Src:     p.Src,
+		Dst:     p.Dst,
+		ID:      p.ID,
+		Proto:   p.Proto,
+		TTL:     p.TTL,
+		Payload: payload,
+	}
+	return whole, true
+}
+
+func (r *Reassembler) dropBucket(key bucketKey, pair pairKey) {
+	if _, ok := r.buckets[key]; !ok {
+		return
+	}
+	delete(r.buckets, key)
+	if r.perPair[pair] > 0 {
+		r.perPair[pair]--
+	}
+	if r.perPair[pair] == 0 {
+		delete(r.perPair, pair)
+	}
+}
+
+// assemble attempts to build the full payload. It reports success only when
+// the final-fragment length is known and coverage is contiguous from 0.
+func (b *bucket) assemble(overlap OverlapPolicy) ([]byte, bool) {
+	if b.totalLen < 0 {
+		return nil, false
+	}
+	buf := make([]byte, b.totalLen)
+	covered := make([]bool, b.totalLen)
+	apply := func(f fragment) {
+		for i, c := range f.data {
+			pos := f.off + i
+			if pos >= b.totalLen {
+				break
+			}
+			if overlap == FirstWins && covered[pos] {
+				continue
+			}
+			buf[pos] = c
+			covered[pos] = true
+		}
+	}
+	if overlap == FirstWins {
+		for _, f := range b.frags {
+			apply(f)
+		}
+	} else {
+		// LastWins: apply in arrival order with overwrite semantics.
+		for _, f := range b.frags {
+			for i, c := range f.data {
+				pos := f.off + i
+				if pos >= b.totalLen {
+					break
+				}
+				buf[pos] = c
+				covered[pos] = true
+			}
+		}
+	}
+	for _, c := range covered {
+		if !c {
+			return nil, false
+		}
+	}
+	return buf, true
+}

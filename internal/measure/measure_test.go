@@ -1,0 +1,221 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dnstime/internal/population"
+)
+
+func TestRateLimitScanSmallPopulation(t *testing.T) {
+	cfg := population.DefaultPoolConfig()
+	cfg.Servers = 120
+	specs := population.GeneratePool(cfg, 5)
+	res, err := RateLimitScan(specs, DefaultScanConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Servers != 120 {
+		t.Fatalf("servers = %d", res.Servers)
+	}
+	// Ground truth for this seed.
+	var wantRate, wantKoD int
+	for _, s := range specs {
+		if s.RateLimits {
+			wantRate++
+		}
+		if s.SendsKoD {
+			wantKoD++
+		}
+	}
+	if res.RateLimited != wantRate {
+		t.Errorf("detected %d rate limiters, ground truth %d", res.RateLimited, wantRate)
+	}
+	if res.KoDSenders != wantKoD {
+		t.Errorf("detected %d KoD senders, ground truth %d", res.KoDSenders, wantKoD)
+	}
+}
+
+func TestRateLimitScanPaperFractions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 2432-server scan")
+	}
+	specs := population.GeneratePool(population.DefaultPoolConfig(), 42)
+	res, err := RateLimitScan(specs, DefaultScanConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.RateLimitedPct()-38) > 3 {
+		t.Errorf("rate-limited = %.1f%%, want ≈38%%", res.RateLimitedPct())
+	}
+	if math.Abs(res.KoDPct()-33) > 3 {
+		t.Errorf("KoD = %.1f%%, want ≈33%%", res.KoDPct())
+	}
+}
+
+func TestFragScanPoolNameservers(t *testing.T) {
+	specs := population.GeneratePoolNameservers(population.DefaultPoolNameserverConfig(), 3)
+	res := FragScan(specs, nil)
+	if res.Total != 30 {
+		t.Fatalf("total = %d", res.Total)
+	}
+	if res.FragBelow548 != 16 {
+		t.Errorf("frag<548 = %d, want 16", res.FragBelow548)
+	}
+	if res.DNSSEC != 0 {
+		t.Errorf("DNSSEC = %d, want 0", res.DNSSEC)
+	}
+}
+
+func TestFragScanFigure5(t *testing.T) {
+	specs := population.GenerateDomainNameservers(population.DefaultDomainNameserverConfig(), 5)
+	res := FragScan(specs, nil)
+	if f := res.FragNoDNSSECPct(); math.Abs(f-7.66) > 0.5 {
+		t.Errorf("frag+noDNSSEC = %.2f%%, want ≈7.66%%", f)
+	}
+	if c := res.CumAt(292); math.Abs(c-0.0705) > 0.01 {
+		t.Errorf("CDF(292) = %.4f, want ≈0.0705", c)
+	}
+	if c := res.CumAt(548); math.Abs(c-0.832) > 0.01 {
+		t.Errorf("CDF(548) = %.4f, want ≈0.832", c)
+	}
+	if c := res.CumAt(1500); c != 1 {
+		t.Errorf("CDF(1500) = %.4f, want 1", c)
+	}
+}
+
+func TestCacheSnoopTableIV(t *testing.T) {
+	cfg := population.DefaultOpenResolverConfig()
+	cfg.Total = 100000
+	specs := population.GenerateOpenResolvers(cfg, 11)
+	res := CacheSnoop(specs)
+	if res.Verified == 0 || res.Probed == 0 {
+		t.Fatal("empty scan")
+	}
+	want := map[population.PoolRecord]float64{
+		population.RecPoolNS: 58.28,
+		population.RecPoolA:  69.41,
+		population.Rec0Pool:  63.92,
+		population.Rec1Pool:  61.28,
+		population.Rec2Pool:  61.55,
+		population.Rec3Pool:  58.58,
+	}
+	for _, row := range res.Rows {
+		if w := want[row.Record]; math.Abs(row.CachedPct-w) > 1.5 {
+			t.Errorf("%s cached = %.2f%%, want ≈%.2f%%", row.Record, row.CachedPct, w)
+		}
+		if row.Cached+row.NotCached != res.Verified {
+			t.Errorf("%s: cached+notcached = %d, verified = %d", row.Record, row.Cached+row.NotCached, res.Verified)
+		}
+	}
+}
+
+func TestTTLHistogramUniform(t *testing.T) {
+	cfg := population.DefaultOpenResolverConfig()
+	cfg.Total = 50000
+	res := CacheSnoop(population.GenerateOpenResolvers(cfg, 12))
+	h := res.TTLHistogram()
+	if h.Total() < 1000 {
+		t.Fatalf("TTL samples = %d", h.Total())
+	}
+	// Uniform on [0,150]: the 15 bins below 150 should be roughly equal.
+	first := float64(h.Bin(0))
+	for i := 1; i < 15; i++ {
+		ratio := float64(h.Bin(i)) / first
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("bin %d/%d ratio %.2f; distribution not uniform", i, 0, ratio)
+		}
+	}
+}
+
+func TestAdStudyTableV(t *testing.T) {
+	clients := population.GenerateAdClients(population.DefaultAdStudyConfig(), 9)
+	res := AdStudy(clients)
+	if res.Filtered == 0 {
+		t.Error("no results filtered")
+	}
+	if res.ValidClients == 0 {
+		t.Fatal("no valid clients")
+	}
+	var all, noGoogle *AdRow
+	for i := range res.Rows {
+		switch res.Rows[i].Label {
+		case "ALL":
+			all = &res.Rows[i]
+		case "Without Google":
+			noGoogle = &res.Rows[i]
+		}
+	}
+	if all == nil || noGoogle == nil {
+		t.Fatal("missing aggregate rows")
+	}
+	if math.Abs(all.TinyPct-64) > 8 {
+		t.Errorf("ALL tiny%% = %.1f, want ≈64", all.TinyPct)
+	}
+	if math.Abs(all.AnyPct-91) > 8 {
+		t.Errorf("ALL any%% = %.1f, want ≈91", all.AnyPct)
+	}
+	if noGoogle.TinyPct <= all.TinyPct {
+		t.Errorf("without-Google tiny%% (%.1f) should exceed ALL (%.1f)", noGoogle.TinyPct, all.TinyPct)
+	}
+	if res.DNSSECMinPct < 15 || res.DNSSECMaxPct > 33 || res.DNSSECMinPct >= res.DNSSECMaxPct {
+		t.Errorf("DNSSEC range = [%.1f, %.1f], want ≈[19, 29]", res.DNSSECMinPct, res.DNSSECMaxPct)
+	}
+	if res.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestSharedResolverStudy(t *testing.T) {
+	specs := population.GenerateSharedResolvers(population.DefaultSharedResolverConfig(), 21)
+	res := SharedResolverStudy(specs)
+	if res.Total != 18668 {
+		t.Fatalf("total = %d", res.Total)
+	}
+	if f := res.TriggerablePct(); math.Abs(f-13.8) > 1.5 {
+		t.Errorf("triggerable = %.1f%%, want ≈13.8%%", f)
+	}
+	if res.WebOnly+res.WebAndSMTP+res.OpenOnly+res.OpenAndSMTP != res.Total {
+		t.Error("classification does not partition the population")
+	}
+}
+
+func TestTimingSideChannelInconclusive(t *testing.T) {
+	cfg := population.DefaultTimingProbeConfig()
+	res := TimingSideChannel(cfg, 17)
+	h := res.Histogram()
+	if h.Total() != cfg.Resolvers {
+		t.Fatalf("samples = %d", h.Total())
+	}
+	// Rebuild ground truth for accuracy check.
+	rng := rand.New(rand.NewSource(17))
+	cached := make([]bool, cfg.Resolvers)
+	deltas := make([]float64, cfg.Resolvers)
+	for i := range deltas {
+		jitter := rng.NormFloat64() * cfg.JitterMS
+		if rng.Float64() < cfg.PCached {
+			cached[i] = true
+			deltas[i] = jitter
+		} else {
+			rtt := cfg.UpstreamRTTMinMS + rng.Float64()*(cfg.UpstreamRTTMaxMS-cfg.UpstreamRTTMinMS)
+			deltas[i] = rtt + jitter
+		}
+	}
+	_, acc := BestThresholdAccuracy(deltas, cached)
+	if acc > 0.93 {
+		t.Errorf("best threshold accuracy = %.3f; Figure 7 expects no clean separation", acc)
+	}
+	if acc < 0.6 {
+		t.Errorf("accuracy = %.3f implausibly low", acc)
+	}
+}
+
+func TestBestThresholdAccuracyDegenerate(t *testing.T) {
+	if _, acc := BestThresholdAccuracy(nil, nil); acc != 0 {
+		t.Error("empty input should yield 0")
+	}
+	if _, acc := BestThresholdAccuracy([]float64{1}, []bool{true, false}); acc != 0 {
+		t.Error("mismatched input should yield 0")
+	}
+}

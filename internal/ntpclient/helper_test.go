@@ -1,0 +1,16 @@
+package ntpclient
+
+import (
+	"dnstime/internal/ipv4"
+	"dnstime/internal/udp"
+)
+
+// buildSpoofed wraps an NTP payload in a spoofed-source IPv4/UDP packet.
+func buildSpoofed(spoofedSrc, dst ipv4.Addr, ntpPayload []byte) *ipv4.Packet {
+	d := &udp.Datagram{
+		Header:  udp.Header{SrcPort: 123, DstPort: 123},
+		Payload: ntpPayload,
+	}
+	wire := udp.WithChecksum(spoofedSrc, dst, d.Marshal())
+	return &ipv4.Packet{Src: spoofedSrc, Dst: dst, Proto: ipv4.ProtoUDP, TTL: 64, Payload: wire}
+}

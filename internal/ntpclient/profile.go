@@ -1,0 +1,143 @@
+package ntpclient
+
+import "time"
+
+// Profile captures the DNS-lookup and association-management behaviour of
+// one NTP client implementation — the parameters Table I and Table II of
+// the paper depend on. Values come from public defaults and the paper's
+// Section V analysis.
+type Profile struct {
+	// Name identifies the implementation.
+	Name string
+	// SNTP clients hold a single association at a time.
+	SNTP bool
+	// RuntimeLookup is whether the client re-queries DNS during run-time
+	// when servers become unreachable (the run-time attack's prerequisite).
+	RuntimeLookup bool
+	// OneShot clients (ntpdate) synchronise once and exit.
+	OneShot bool
+	// ActsAsServer makes the client answer mode-3 queries itself, leaking
+	// its sync source via the reference ID (ntpd's default; enables P2
+	// upstream discovery).
+	ActsAsServer bool
+	// CacheDNSAddrs caches the unused addresses of the last DNS answer and
+	// tries them before a new lookup (systemd-timesyncd).
+	CacheDNSAddrs bool
+	// MaxCachedAddrs bounds that cache (systemd keeps the 3 addresses
+	// beyond the one in use; 0 = unlimited).
+	MaxCachedAddrs int
+
+	// PollInterval is the steady-state poll cadence.
+	PollInterval time.Duration
+	// PollBackoff doubles the poll interval after each miss up to MaxPoll
+	// (SNTP retry behaviour).
+	PollBackoff bool
+	// MaxPoll caps the backed-off poll interval.
+	MaxPoll time.Duration
+	// UnreachableAfter is how many consecutive unanswered polls demobilise
+	// an association (ntpd: the 8-bit reach register draining).
+	UnreachableAfter int
+
+	// TargetServers is how many associations the client builds at boot
+	// (ntpd default: pool associations expand to 6 usable servers).
+	TargetServers int
+	// MinServers is the low-water mark that triggers a run-time DNS query
+	// (ntpd NTP_MINCLOCK = 3).
+	MinServers int
+	// MaxServers caps mobilised associations (ntpd NTP_MAXCLOCK = 10).
+	MaxServers int
+
+	// SelectMinSamples is how many samples a source needs before it can
+	// drive the clock.
+	SelectMinSamples int
+	// StepThreshold is the offset above which the clock steps (128 ms).
+	StepThreshold time.Duration
+	// PanicThreshold rejects offsets above this at run-time (ntpd: 1000 s;
+	// zero disables). All profiles ignore it at boot ("the clock may be
+	// way off when the system starts").
+	PanicThreshold time.Duration
+}
+
+// Built-in profiles for the seven implementations in Table I.
+var (
+	// ProfileNTPd models ntpd with the default "pool" directive: 6 upstream
+	// servers, run-time DNS when usable servers drop below 3, mode-3
+	// service with RefID leak.
+	ProfileNTPd = Profile{
+		Name: "NTPd", RuntimeLookup: true, ActsAsServer: true,
+		PollInterval: 64 * time.Second, UnreachableAfter: 8,
+		TargetServers: 6, MinServers: 3, MaxServers: 10,
+		SelectMinSamples: 4, StepThreshold: 128 * time.Millisecond,
+		PanicThreshold: 1000 * time.Second,
+	}
+	// ProfileChrony models chrony: 4 sources, adaptive polling (we use the
+	// mid-range), patient reachability handling, run-time re-resolution.
+	ProfileChrony = Profile{
+		Name: "chrony", RuntimeLookup: true,
+		PollInterval: 128 * time.Second, UnreachableAfter: 20,
+		TargetServers: 4, MinServers: 2, MaxServers: 8,
+		SelectMinSamples: 3, StepThreshold: 128 * time.Millisecond,
+	}
+	// ProfileOpenNTPD models openntpd: resolves at start only; hindering
+	// its servers just disables synchronisation until restart.
+	ProfileOpenNTPD = Profile{
+		Name: "openntpd", RuntimeLookup: false,
+		PollInterval: 32 * time.Second, UnreachableAfter: 10,
+		TargetServers: 4, MinServers: 1, MaxServers: 8,
+		SelectMinSamples: 3, StepThreshold: 128 * time.Millisecond,
+	}
+	// ProfileNtpdate models the one-shot ntpdate utility.
+	ProfileNtpdate = Profile{
+		Name: "ntpdate", SNTP: true, OneShot: true,
+		PollInterval: 2 * time.Second, UnreachableAfter: 4,
+		TargetServers: 1, MinServers: 1, MaxServers: 1,
+		SelectMinSamples: 1, StepThreshold: 128 * time.Millisecond,
+	}
+	// ProfileAndroid models the Android SNTP client: one server, resolved
+	// by hostname on every synchronisation (hence run-time attackable).
+	ProfileAndroid = Profile{
+		Name: "Android", SNTP: true, RuntimeLookup: true,
+		PollInterval: 64 * time.Second, UnreachableAfter: 3,
+		TargetServers: 1, MinServers: 1, MaxServers: 1,
+		SelectMinSamples: 1, StepThreshold: 128 * time.Millisecond,
+	}
+	// ProfileNtpclient models the minimal ntpclient tool: one server,
+	// resolved once.
+	ProfileNtpclient = Profile{
+		Name: "ntpclient", SNTP: true, RuntimeLookup: false,
+		PollInterval: 60 * time.Second, UnreachableAfter: 6,
+		TargetServers: 1, MinServers: 1, MaxServers: 1,
+		SelectMinSamples: 1, StepThreshold: 128 * time.Millisecond,
+	}
+	// ProfileSystemd models systemd-timesyncd: SNTP with the 4-address DNS
+	// answer cached; servers are tried in turn with poll backoff before a
+	// new DNS query is issued.
+	ProfileSystemd = Profile{
+		Name: "systemd-timesyncd", SNTP: true, RuntimeLookup: true,
+		CacheDNSAddrs: true, MaxCachedAddrs: 3,
+		PollInterval: 32 * time.Second, PollBackoff: true, MaxPoll: 512 * time.Second,
+		UnreachableAfter: 6,
+		TargetServers:    1, MinServers: 1, MaxServers: 1,
+		SelectMinSamples: 1, StepThreshold: 128 * time.Millisecond,
+	}
+)
+
+// AllProfiles lists the Table I client implementations with their measured
+// pool.ntp.org usage shares (Rytilahti et al. [30], as cited in Table I).
+func AllProfiles() []ProfileUsage {
+	return []ProfileUsage{
+		{ProfileNTPd, 26.4},
+		{ProfileOpenNTPD, 4.4},
+		{ProfileChrony, 4.8},
+		{ProfileNtpdate, 20.0},
+		{ProfileAndroid, 14.0},
+		{ProfileNtpclient, 1.2},
+		{ProfileSystemd, 0}, // "not listed" in the usage study
+	}
+}
+
+// ProfileUsage pairs a profile with its pool.ntp.org usage share (percent).
+type ProfileUsage struct {
+	Profile  Profile
+	UsagePct float64
+}

@@ -1,0 +1,15 @@
+package ntpserv
+
+import (
+	"dnstime/internal/ipv4"
+	"dnstime/internal/udp"
+)
+
+// udpDatagram builds a checksummed wire-format UDP datagram for injection.
+func udpDatagram(src, dst ipv4.Addr, srcPort, dstPort uint16, payload []byte) []byte {
+	d := &udp.Datagram{
+		Header:  udp.Header{SrcPort: srcPort, DstPort: dstPort},
+		Payload: payload,
+	}
+	return udp.WithChecksum(src, dst, d.Marshal())
+}

@@ -1,0 +1,245 @@
+// Package ntpserv implements an NTP server on a simnet host. It models the
+// server-side behaviours the paper measures and exploits:
+//
+//   - server-side rate limiting (ntpd's "restrict limited" / "discard"):
+//     when queries from one client IP arrive faster than a minimum
+//     interarrival time, the server optionally sends one Kiss-o'-Death
+//     (RATE) and then stops answering that client for a hold-down period.
+//     Spoofed mode-3 floods with the victim's source address therefore make
+//     the server appear dead to the victim (Section IV-B2);
+//   - the mode-7 "Config interface" some servers still expose, leaking
+//     configured upstream hostnames and addresses (Section IV-B2c);
+//   - attacker-operated servers that serve deliberately shifted time
+//     (step C of the attack).
+package ntpserv
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dnstime/internal/ipv4"
+	"dnstime/internal/ntpwire"
+	"dnstime/internal/simnet"
+)
+
+// RateLimitConfig controls server-side rate limiting, modelled as a
+// per-client-IP token bucket (ntpd's "restrict limited" with "discard"):
+// each query consumes one token; tokens refill at one per MinInterval up to
+// Burst. A query that finds the bucket empty trips a hold-down during which
+// every query (including the one that tripped it) is dropped and re-arms
+// the hold-down. Because the bucket keys on the *claimed* source address,
+// a spoofed flood exhausts the victim's standing (Section IV-B2).
+type RateLimitConfig struct {
+	// Enabled turns rate limiting on (paper: ~38% of pool servers).
+	Enabled bool
+	// MinInterval is the sustained allowed interarrival time per client IP
+	// (token refill period; default 2 s).
+	MinInterval time.Duration
+	// Burst is the token-bucket capacity (default 12).
+	Burst int
+	// HoldDown is how long the server ignores a limited client; every
+	// further query during hold-down re-arms it (default 60 s).
+	HoldDown time.Duration
+	// SendKoD sends one RATE Kiss-o'-Death at the moment the client
+	// becomes limited (paper: ~33% of pool servers send KoD).
+	SendKoD bool
+}
+
+// Config configures a Server.
+type Config struct {
+	// Stratum reported in responses (default 2).
+	Stratum uint8
+	// Offset shifts the served time relative to true (simulation) time.
+	// Honest servers use 0; the attacker's servers serve e.g. −500 s.
+	Offset time.Duration
+	// RefID is the reference identifier; for stratum ≥ 2 servers this is
+	// the upstream server's IPv4 address (the P2 discovery leak). If zero
+	// it defaults to an opaque constant.
+	RefID [4]byte
+	// RateLimit configures rate limiting.
+	RateLimit RateLimitConfig
+	// ConfigInterface answers mode-7 queries with the configured upstream
+	// names and addresses (paper: 5.3% of pool servers still do).
+	ConfigInterface bool
+	// UpstreamNames and UpstreamAddrs are leaked via the config interface.
+	UpstreamNames []string
+	UpstreamAddrs []ipv4.Addr
+}
+
+// Stats counts server activity.
+type Stats struct {
+	Queries     int
+	Answered    int
+	RateLimited int
+	KoDSent     int
+	ConfigReads int
+}
+
+type limiterState struct {
+	tokens     float64
+	lastRefill time.Time
+	heldUntil  time.Time
+	kodSent    bool
+}
+
+// Server is an NTP server bound to port 123 of a simnet host.
+type Server struct {
+	host  *simnet.Host
+	cfg   Config
+	state map[ipv4.Addr]*limiterState
+	stats Stats
+}
+
+// New binds a server to UDP port 123 on host.
+func New(host *simnet.Host, cfg Config) (*Server, error) {
+	if cfg.Stratum == 0 {
+		cfg.Stratum = 2
+	}
+	if cfg.RefID == ([4]byte{}) {
+		cfg.RefID = [4]byte{127, 127, 1, 0}
+	}
+	if cfg.RateLimit.MinInterval == 0 {
+		cfg.RateLimit.MinInterval = 2 * time.Second
+	}
+	if cfg.RateLimit.Burst == 0 {
+		cfg.RateLimit.Burst = 12
+	}
+	if cfg.RateLimit.HoldDown == 0 {
+		cfg.RateLimit.HoldDown = 60 * time.Second
+	}
+	s := &Server{host: host, cfg: cfg, state: make(map[ipv4.Addr]*limiterState)}
+	if err := host.HandleUDP(ntpwire.Port, s.handle); err != nil {
+		return nil, fmt.Errorf("ntpserv: bind: %w", err)
+	}
+	return s, nil
+}
+
+// Host returns the underlying host.
+func (s *Server) Host() *simnet.Host { return s.host }
+
+// Addr returns the server address.
+func (s *Server) Addr() ipv4.Addr { return s.host.Addr() }
+
+// Stats returns a snapshot of counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// RateLimits reports whether rate limiting is enabled (population scans).
+func (s *Server) RateLimits() bool { return s.cfg.RateLimit.Enabled }
+
+// SetOffset changes the served time offset (attacker control knob).
+func (s *Server) SetOffset(d time.Duration) { s.cfg.Offset = d }
+
+// IsLimiting reports whether queries from client are currently held down.
+func (s *Server) IsLimiting(client ipv4.Addr) bool {
+	st, ok := s.state[client]
+	return ok && s.host.Clock().Now().Before(st.heldUntil)
+}
+
+// now returns the server's (possibly shifted) clock reading.
+func (s *Server) now() time.Time {
+	return s.host.Clock().Now().Add(s.cfg.Offset)
+}
+
+func (s *Server) handle(src ipv4.Addr, srcPort uint16, payload []byte) {
+	s.stats.Queries++
+	// Mode-7 config interface probe: a short non-48-byte datagram with the
+	// mode bits set to 7 (we accept any packet whose first byte carries
+	// mode 7, as real implementations key on the mode field).
+	if len(payload) > 0 && ntpwire.Mode(payload[0]&0x7) == ntpwire.ModePrivate {
+		s.handleConfig(src, srcPort)
+		return
+	}
+	q, err := ntpwire.Unmarshal(payload)
+	if err != nil || q.Mode != ntpwire.ModeClient {
+		return
+	}
+	if s.cfg.RateLimit.Enabled && s.limit(src, srcPort) {
+		return
+	}
+	s.stats.Answered++
+	resp := ntpwire.NewServerPacket(q, s.now(), s.cfg.Stratum, s.cfg.RefID)
+	_, _ = s.host.SendUDP(src, ntpwire.Port, srcPort, resp.Marshal())
+}
+
+// limit applies the token-bucket rate limiter to a query from src; it
+// reports whether the query must be dropped, and sends a KoD at the
+// limiting edge when configured. Note the limiter keys on the *claimed*
+// source address — the reason spoofed floods poison the victim's standing
+// with the server.
+func (s *Server) limit(src ipv4.Addr, srcPort uint16) bool {
+	now := s.host.Clock().Now()
+	cfg := s.cfg.RateLimit
+	st, ok := s.state[src]
+	if !ok {
+		st = &limiterState{tokens: float64(cfg.Burst), lastRefill: now}
+		s.state[src] = st
+	}
+	if now.Before(st.heldUntil) {
+		// Every query during hold-down re-arms it.
+		st.heldUntil = now.Add(cfg.HoldDown)
+		s.stats.RateLimited++
+		return true
+	}
+	// Refill.
+	st.tokens += float64(now.Sub(st.lastRefill)) / float64(cfg.MinInterval)
+	if st.tokens > float64(cfg.Burst) {
+		st.tokens = float64(cfg.Burst)
+	}
+	st.lastRefill = now
+	if st.tokens >= 1 {
+		st.tokens--
+		st.kodSent = false
+		return false
+	}
+	// Bucket dry: trip the hold-down.
+	st.heldUntil = now.Add(cfg.HoldDown)
+	s.stats.RateLimited++
+	if cfg.SendKoD && !st.kodSent {
+		st.kodSent = true
+		s.stats.KoDSent++
+		kod := ntpwire.NewKoD(&ntpwire.Packet{}, ntpwire.KissRATE)
+		_, _ = s.host.SendUDP(src, ntpwire.Port, srcPort, kod.Marshal())
+	}
+	return true
+}
+
+// handleConfig serves the mode-7 configuration interface: a plain-text
+// stand-in for ntpdc's "sysinfo"/"listpeers", leaking upstream hostnames
+// and current upstream addresses.
+func (s *Server) handleConfig(src ipv4.Addr, srcPort uint16) {
+	if !s.cfg.ConfigInterface {
+		return
+	}
+	s.stats.ConfigReads++
+	var sb strings.Builder
+	sb.WriteString("config\n")
+	for _, n := range s.cfg.UpstreamNames {
+		fmt.Fprintf(&sb, "server %s\n", n)
+	}
+	for _, a := range s.cfg.UpstreamAddrs {
+		fmt.Fprintf(&sb, "peer %s\n", a)
+	}
+	// Mode-7 response: first byte carries mode 7 with the response bit.
+	out := append([]byte{0x80 | byte(ntpwire.ModePrivate)}, []byte(sb.String())...)
+	_, _ = s.host.SendUDP(src, ntpwire.Port, srcPort, out)
+}
+
+// ParseConfigResponse extracts upstream names and addresses from a mode-7
+// response (attacker-side helper).
+func ParseConfigResponse(payload []byte) (names []string, addrs []ipv4.Addr, ok bool) {
+	if len(payload) < 1 || ntpwire.Mode(payload[0]&0x7) != ntpwire.ModePrivate {
+		return nil, nil, false
+	}
+	for _, line := range strings.Split(string(payload[1:]), "\n") {
+		switch {
+		case strings.HasPrefix(line, "server "):
+			names = append(names, strings.TrimPrefix(line, "server "))
+		case strings.HasPrefix(line, "peer "):
+			if a, err := ipv4.ParseAddr(strings.TrimPrefix(line, "peer ")); err == nil {
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	return names, addrs, true
+}

@@ -1,0 +1,219 @@
+// Package ntpwire implements the NTPv4 packet format (RFC 5905): the
+// 48-byte client/server datagram with its four timestamps, stratum, poll
+// and reference-identifier fields, plus the Kiss-o'-Death (KoD) convention
+// and the reference-ID upstream leak the run-time attack's P2 discovery
+// uses (a stratum-2 server's RefID is the IPv4 address of its sync source).
+package ntpwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"dnstime/internal/ipv4"
+)
+
+// PacketLen is the length of a mode 3/4 NTP packet.
+const PacketLen = 48
+
+// Port is the well-known NTP UDP port.
+const Port = 123
+
+// Mode is the NTP association mode.
+type Mode uint8
+
+// Modes used in the simulation.
+const (
+	ModeClient    Mode = 3
+	ModeServer    Mode = 4
+	ModeControl   Mode = 6 // ntpq
+	ModePrivate   Mode = 7 // ntpdc / "Config interface"
+	ModeBroadcast Mode = 5
+)
+
+// Leap indicator values.
+const (
+	LeapNone    = 0
+	LeapUnknown = 3 // clock unsynchronised
+)
+
+// KoD reference identifiers (stratum 0 ASCII codes, RFC 5905 §7.4).
+var (
+	KissRATE = [4]byte{'R', 'A', 'T', 'E'}
+	KissDENY = [4]byte{'D', 'E', 'N', 'Y'}
+)
+
+// ErrShortPacket is returned for datagrams below 48 bytes.
+var ErrShortPacket = errors.New("ntpwire: short packet")
+
+// ntpEpoch is the NTP era-0 epoch (1 Jan 1900).
+var ntpEpoch = time.Date(1900, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Timestamp is a 64-bit NTP timestamp: 32.32 fixed-point seconds since 1900.
+type Timestamp uint64
+
+// ToTimestamp converts a time.Time to NTP format. The zero time maps to the
+// zero timestamp (meaning "not set").
+func ToTimestamp(t time.Time) Timestamp {
+	if t.IsZero() {
+		return 0
+	}
+	d := t.Sub(ntpEpoch)
+	secs := uint64(d / time.Second)
+	frac := uint64(d%time.Second) << 32 / uint64(time.Second)
+	return Timestamp(secs<<32 | frac)
+}
+
+// Time converts back to time.Time; the zero timestamp yields the zero time.
+func (ts Timestamp) Time() time.Time {
+	if ts == 0 {
+		return time.Time{}
+	}
+	secs := uint64(ts) >> 32
+	frac := uint64(ts) & 0xffffffff
+	ns := frac * uint64(time.Second) >> 32
+	return ntpEpoch.Add(time.Duration(secs)*time.Second + time.Duration(ns))
+}
+
+// Packet is a mode 3/4 NTP packet.
+type Packet struct {
+	Leap      uint8
+	Version   uint8
+	Mode      Mode
+	Stratum   uint8
+	Poll      int8
+	Precision int8
+	RootDelay uint32
+	RootDisp  uint32
+	RefID     [4]byte
+
+	RefTime  Timestamp // last clock update
+	OrigTime Timestamp // T1: client transmit, echoed by server
+	RecvTime Timestamp // T2: server receive
+	XmitTime Timestamp // T3: server transmit
+}
+
+// IsKoD reports whether the packet is a Kiss-o'-Death (stratum 0 response).
+func (p *Packet) IsKoD() bool {
+	return p.Mode == ModeServer && p.Stratum == 0 && p.RefID != [4]byte{}
+}
+
+// KissCode returns the ASCII kiss code for KoD packets ("" otherwise).
+func (p *Packet) KissCode() string {
+	if !p.IsKoD() {
+		return ""
+	}
+	return string(p.RefID[:])
+}
+
+// RefIDAddr interprets the reference ID as an IPv4 address — valid for
+// stratum ≥ 2 servers, where it identifies the upstream sync source. This
+// is the leak the P2 run-time attack uses to discover upstream servers.
+func (p *Packet) RefIDAddr() (ipv4.Addr, bool) {
+	if p.Stratum < 2 {
+		return ipv4.Addr{}, false
+	}
+	return ipv4.Addr(p.RefID), true
+}
+
+// Marshal encodes the packet to its 48-byte wire form.
+func (p *Packet) Marshal() []byte {
+	b := make([]byte, PacketLen)
+	b[0] = p.Leap<<6 | (p.Version&0x7)<<3 | uint8(p.Mode)&0x7
+	b[1] = p.Stratum
+	b[2] = byte(p.Poll)
+	b[3] = byte(p.Precision)
+	binary.BigEndian.PutUint32(b[4:8], p.RootDelay)
+	binary.BigEndian.PutUint32(b[8:12], p.RootDisp)
+	copy(b[12:16], p.RefID[:])
+	binary.BigEndian.PutUint64(b[16:24], uint64(p.RefTime))
+	binary.BigEndian.PutUint64(b[24:32], uint64(p.OrigTime))
+	binary.BigEndian.PutUint64(b[32:40], uint64(p.RecvTime))
+	binary.BigEndian.PutUint64(b[40:48], uint64(p.XmitTime))
+	return b
+}
+
+// Unmarshal decodes a 48-byte NTP packet.
+func Unmarshal(b []byte) (*Packet, error) {
+	if len(b) < PacketLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrShortPacket, len(b))
+	}
+	p := &Packet{
+		Leap:      b[0] >> 6,
+		Version:   b[0] >> 3 & 0x7,
+		Mode:      Mode(b[0] & 0x7),
+		Stratum:   b[1],
+		Poll:      int8(b[2]),
+		Precision: int8(b[3]),
+		RootDelay: binary.BigEndian.Uint32(b[4:8]),
+		RootDisp:  binary.BigEndian.Uint32(b[8:12]),
+		RefTime:   Timestamp(binary.BigEndian.Uint64(b[16:24])),
+		OrigTime:  Timestamp(binary.BigEndian.Uint64(b[24:32])),
+		RecvTime:  Timestamp(binary.BigEndian.Uint64(b[32:40])),
+		XmitTime:  Timestamp(binary.BigEndian.Uint64(b[40:48])),
+	}
+	copy(p.RefID[:], b[12:16])
+	return p, nil
+}
+
+// NewClientPacket builds a mode-3 query with T1 = now (by the client's own
+// clock, which may be wrong — that is the point).
+func NewClientPacket(localNow time.Time) *Packet {
+	return &Packet{
+		Leap:     LeapUnknown,
+		Version:  4,
+		Mode:     ModeClient,
+		XmitTime: ToTimestamp(localNow), // clients put T1 in xmit
+	}
+}
+
+// NewServerPacket builds a mode-4 reply to query. serverNow is the server's
+// (possibly shifted) clock reading, used for both T2 and T3; refid is the
+// server's reference identifier.
+func NewServerPacket(query *Packet, serverNow time.Time, stratum uint8, refid [4]byte) *Packet {
+	return &Packet{
+		Leap:     LeapNone,
+		Version:  4,
+		Mode:     ModeServer,
+		Stratum:  stratum,
+		Poll:     query.Poll,
+		RefID:    refid,
+		RefTime:  ToTimestamp(serverNow),
+		OrigTime: query.XmitTime, // echo T1
+		RecvTime: ToTimestamp(serverNow),
+		XmitTime: ToTimestamp(serverNow),
+	}
+}
+
+// NewKoD builds a Kiss-o'-Death reply with the given kiss code.
+func NewKoD(query *Packet, code [4]byte) *Packet {
+	return &Packet{
+		Leap:     LeapUnknown,
+		Version:  4,
+		Mode:     ModeServer,
+		Stratum:  0,
+		RefID:    code,
+		OrigTime: query.XmitTime,
+	}
+}
+
+// Offset computes the clock offset θ = ((T2−T1)+(T3−T4))/2 from a
+// client-server exchange, where t1 and t4 are the client's local transmit
+// and receive times.
+func Offset(resp *Packet, t1, t4 time.Time) time.Duration {
+	T1 := t1
+	if resp.OrigTime != 0 {
+		T1 = resp.OrigTime.Time()
+	}
+	T2 := resp.RecvTime.Time()
+	T3 := resp.XmitTime.Time()
+	return (T2.Sub(T1) + T3.Sub(t4)) / 2
+}
+
+// Delay computes the round-trip delay δ = (T4−T1)−(T3−T2).
+func Delay(resp *Packet, t1, t4 time.Time) time.Duration {
+	T2 := resp.RecvTime.Time()
+	T3 := resp.XmitTime.Time()
+	return t4.Sub(t1) - T3.Sub(T2)
+}

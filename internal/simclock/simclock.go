@@ -1,0 +1,255 @@
+// Package simclock provides a deterministic virtual clock with a
+// discrete-event scheduler. Every component of the simulated internetwork
+// (NTP clients, DNS resolvers, attackers) schedules work on a shared Clock,
+// which executes callbacks in strict timestamp order. This makes multi-hour
+// attack experiments run in milliseconds and makes every run bit-for-bit
+// reproducible.
+//
+// The scheduler is single-threaded by design: callbacks run inline on the
+// goroutine that drives the clock (Step, Run, RunFor, RunUntil) and must not
+// block. Callbacks may schedule further events, including events at the
+// current instant, which execute before time advances.
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is a virtual time source and event scheduler. The zero value is not
+// usable; construct with New.
+type Clock struct {
+	mu     sync.Mutex
+	now    time.Time
+	events eventHeap
+	seq    uint64
+}
+
+// New returns a Clock whose current time is start.
+func New(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Len reports the number of pending (non-cancelled) events.
+func (c *Clock) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ev := range c.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Timer is a handle to a scheduled event. Stop cancels it.
+type Timer struct {
+	clock *Clock
+	ev    *event
+}
+
+// Stop cancels the timer. It reports whether the event was still pending
+// (i.e. had not fired and had not already been stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil {
+		return false
+	}
+	t.clock.mu.Lock()
+	defer t.clock.mu.Unlock()
+	if t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// When returns the virtual time at which the timer fires.
+func (t *Timer) When() time.Time { return t.ev.at }
+
+// Schedule runs fn after delay d of virtual time. A non-positive delay
+// schedules fn at the current instant; it still runs through the event loop,
+// after any event currently executing returns.
+func (c *Clock) Schedule(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.scheduleLocked(c.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at virtual time t. Times in the past are clamped to the
+// current instant.
+func (c *Clock) ScheduleAt(t time.Time, fn func()) *Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.Before(c.now) {
+		t = c.now
+	}
+	return c.scheduleLocked(t, fn)
+}
+
+func (c *Clock) scheduleLocked(at time.Time, fn func()) *Timer {
+	ev := &event{at: at, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.events, ev)
+	return &Timer{clock: c, ev: ev}
+}
+
+// Ticker repeatedly schedules a callback at a fixed virtual interval until
+// stopped.
+type Ticker struct {
+	clock    *Clock
+	interval time.Duration
+	fn       func()
+	mu       sync.Mutex
+	timer    *Timer
+	stopped  bool
+}
+
+// Tick schedules fn to run every interval of virtual time, with the first
+// run one interval from now. Stop the returned Ticker to cancel.
+func (c *Clock) Tick(interval time.Duration, fn func()) *Ticker {
+	t := &Ticker{clock: c, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return
+	}
+	t.timer = t.clock.Schedule(t.interval, func() {
+		t.fn()
+		t.arm()
+	})
+}
+
+// Stop cancels the ticker; no further callbacks run.
+func (t *Ticker) Stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stopped = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// Step executes the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (c *Clock) Step() bool {
+	for {
+		c.mu.Lock()
+		if c.events.Len() == 0 {
+			c.mu.Unlock()
+			return false
+		}
+		ev, ok := heap.Pop(&c.events).(*event)
+		if !ok {
+			c.mu.Unlock()
+			return false
+		}
+		if ev.cancelled {
+			c.mu.Unlock()
+			continue
+		}
+		ev.fired = true
+		c.now = ev.at
+		c.mu.Unlock()
+		ev.fn()
+		return true
+	}
+}
+
+// Run executes events until none remain. Use with care: self-rescheduling
+// components (tickers, polling clients) never drain; prefer RunFor/RunUntil.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// RunFor advances the clock by d, executing every event due in that window.
+// The clock ends exactly at now+d even if no event lands there.
+func (c *Clock) RunFor(d time.Duration) {
+	c.RunUntil(c.Now().Add(d))
+}
+
+// RunUntil executes every event with timestamp ≤ deadline and then sets the
+// clock to deadline.
+func (c *Clock) RunUntil(deadline time.Time) {
+	for {
+		c.mu.Lock()
+		if c.events.Len() == 0 || c.events[0].at.After(deadline) {
+			if c.now.Before(deadline) {
+				c.now = deadline
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		c.Step()
+	}
+}
+
+// RunWhile steps the clock while cond returns true and events remain. It
+// reports whether cond is still true when it returns (i.e. the event queue
+// drained first).
+func (c *Clock) RunWhile(cond func() bool) bool {
+	for cond() {
+		if !c.Step() {
+			return true
+		}
+	}
+	return false
+}
+
+type event struct {
+	at        time.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+// eventHeap orders events by (timestamp, insertion sequence), which gives
+// deterministic FIFO behaviour for simultaneous events.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,456 @@
+// Package simnet provides a deterministic simulated internetwork. Hosts are
+// identified by IPv4 addresses and exchange UDP datagrams carried in
+// (possibly fragmented) IPv4 packets over links with configurable latency
+// and loss. The network supports the off-path attacker model of the paper:
+// any host may inject raw packets with arbitrary (spoofed) source
+// addresses, but no host can observe traffic between other hosts.
+//
+// Each host owns the receiver-side state the attack manipulates: an IPv4
+// defragmentation cache (internal/ipv4.Reassembler), a path-MTU cache
+// updated by ICMP Fragmentation Needed messages, and an IPID allocator for
+// outgoing packets.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dnstime/internal/ipv4"
+	"dnstime/internal/simclock"
+	"dnstime/internal/udp"
+)
+
+// Errors returned by this package.
+var (
+	ErrDuplicateHost = errors.New("simnet: host address already in use")
+	ErrPortInUse     = errors.New("simnet: UDP port already has a handler")
+	ErrNoSuchHost    = errors.New("simnet: no host with that address")
+)
+
+// TraceKind classifies packet-trace events.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	TraceSend TraceKind = iota + 1
+	TraceDeliver
+	TraceDrop
+	TraceReassembled
+	TraceChecksumFail
+)
+
+// String names the trace kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSend:
+		return "send"
+	case TraceDeliver:
+		return "deliver"
+	case TraceDrop:
+		return "drop"
+	case TraceReassembled:
+		return "reasm"
+	case TraceChecksumFail:
+		return "badsum"
+	default:
+		return "?"
+	}
+}
+
+// TraceEvent is one entry in a packet trace.
+type TraceEvent struct {
+	Time time.Time
+	Kind TraceKind
+	Pkt  *ipv4.Packet
+}
+
+// String renders the event for human-readable traces.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%s %-7s %s", e.Time.Format("15:04:05.000"), e.Kind, e.Pkt)
+}
+
+// Network is the simulated internetwork.
+type Network struct {
+	clock   *simclock.Clock
+	hosts   map[ipv4.Addr]*Host
+	latency func(src, dst ipv4.Addr) time.Duration
+	lossPct float64
+	rng     *rand.Rand
+	trace   func(TraceEvent)
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency sets a uniform one-way latency for all links.
+func WithLatency(d time.Duration) Option {
+	return func(n *Network) {
+		n.latency = func(_, _ ipv4.Addr) time.Duration { return d }
+	}
+}
+
+// WithLatencyFunc sets a per-pair one-way latency function.
+func WithLatencyFunc(f func(src, dst ipv4.Addr) time.Duration) Option {
+	return func(n *Network) { n.latency = f }
+}
+
+// WithLoss drops each packet independently with probability p, using the
+// given seed for reproducibility.
+func WithLoss(p float64, seed int64) Option {
+	return func(n *Network) {
+		n.lossPct = p
+		n.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// WithTrace installs a packet-trace callback.
+func WithTrace(f func(TraceEvent)) Option {
+	return func(n *Network) { n.trace = f }
+}
+
+// New creates a network driven by clock. The default link latency is 10 ms
+// one-way with no loss.
+func New(clock *simclock.Clock, opts ...Option) *Network {
+	n := &Network{
+		clock: clock,
+		hosts: make(map[ipv4.Addr]*Host),
+		latency: func(_, _ ipv4.Addr) time.Duration {
+			return 10 * time.Millisecond
+		},
+		rng: rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Clock returns the virtual clock driving the network.
+func (n *Network) Clock() *simclock.Clock { return n.clock }
+
+// Host returns the host with the given address, or nil.
+func (n *Network) Host(a ipv4.Addr) *Host { return n.hosts[a] }
+
+func (n *Network) emit(kind TraceKind, pkt *ipv4.Packet) {
+	if n.trace != nil {
+		n.trace(TraceEvent{Time: n.clock.Now(), Kind: kind, Pkt: pkt})
+	}
+}
+
+// Inject delivers a raw IPv4 packet into the network exactly as written —
+// the off-path attacker's spoofing primitive. The packet's Src may be any
+// address; delivery is to Dst, after link latency, subject to loss.
+func (n *Network) Inject(pkt *ipv4.Packet) {
+	n.emit(TraceSend, pkt)
+	if n.lossPct > 0 && n.rng.Float64() < n.lossPct {
+		n.emit(TraceDrop, pkt)
+		return
+	}
+	dst, ok := n.hosts[pkt.Dst]
+	if !ok {
+		n.emit(TraceDrop, pkt)
+		return
+	}
+	d := n.latency(pkt.Src, pkt.Dst)
+	p := pkt.Clone()
+	n.clock.Schedule(d, func() {
+		n.emit(TraceDeliver, p)
+		dst.receive(p)
+	})
+}
+
+// UDPHandler processes a reassembled, checksum-verified UDP payload.
+type UDPHandler func(src ipv4.Addr, srcPort uint16, payload []byte)
+
+// ICMPHandler observes ICMP Fragmentation Needed messages after the host's
+// PMTU cache has been updated (src is the claimed sender of the ICMP).
+type ICMPHandler func(src ipv4.Addr, msg *ipv4.ICMPFragNeeded)
+
+// HostConfig tunes per-host stack behaviour.
+type HostConfig struct {
+	// Reassembly selects the defragmentation cache policy
+	// (default ipv4.LinuxPolicy).
+	Reassembly ipv4.ReassemblyPolicy
+	// IDAlloc selects the IPID allocator (default global sequential).
+	IDAlloc ipv4.IDAllocator
+	// PMTUFloor is the smallest MTU the host honours from an ICMP
+	// (default ipv4.MinMTU = 68, the permissive behaviour the attack needs).
+	PMTUFloor int
+	// LinkMTU is the interface MTU (default 1500).
+	LinkMTU int
+	// VerifyChecksums makes the host discard UDP datagrams whose checksum
+	// fails (default true — set explicitly via DisableChecksum for tests).
+	DisableChecksum bool
+	// DropFragments discards incoming IP fragments, modelling resolvers
+	// behind fragment-filtering middleboxes (the ~68% of resolvers in the
+	// ad study that rejected fragmented DNS responses).
+	DropFragments bool
+}
+
+// Host is one endpoint in the network.
+type Host struct {
+	net      *Network
+	addr     ipv4.Addr
+	reasm    *ipv4.Reassembler
+	pmtu     *ipv4.PMTUCache
+	ids      ipv4.IDAllocator
+	linkMTU  int
+	verify   bool
+	dropFrag bool
+	udp      map[uint16]UDPHandler
+	icmp     ICMPHandler
+	rawObs   func(*ipv4.Packet)
+	nextPort uint16
+
+	// Stats
+	SentPackets     int
+	ReceivedPackets int
+	ChecksumErrors  int
+}
+
+// AddHost registers a new host at addr with the given configuration.
+func (n *Network) AddHost(addr ipv4.Addr, cfg HostConfig) (*Host, error) {
+	if _, ok := n.hosts[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateHost, addr)
+	}
+	if cfg.Reassembly == (ipv4.ReassemblyPolicy{}) {
+		cfg.Reassembly = ipv4.LinuxPolicy
+	}
+	if cfg.IDAlloc == nil {
+		cfg.IDAlloc = &ipv4.SequentialAllocator{}
+	}
+	if cfg.PMTUFloor == 0 {
+		cfg.PMTUFloor = ipv4.MinMTU
+	}
+	if cfg.LinkMTU == 0 {
+		cfg.LinkMTU = ipv4.DefaultMTU
+	}
+	h := &Host{
+		net:      n,
+		addr:     addr,
+		reasm:    ipv4.NewReassembler(n.clock, cfg.Reassembly),
+		pmtu:     ipv4.NewPMTUCache(n.clock, cfg.PMTUFloor),
+		ids:      cfg.IDAlloc,
+		linkMTU:  cfg.LinkMTU,
+		verify:   !cfg.DisableChecksum,
+		dropFrag: cfg.DropFragments,
+		udp:      make(map[uint16]UDPHandler),
+		nextPort: 49152,
+	}
+	n.hosts[addr] = h
+	return h, nil
+}
+
+// MustAddHost is AddHost for experiment setup; it panics on error.
+func (n *Network) MustAddHost(addr ipv4.Addr, cfg HostConfig) *Host {
+	h, err := n.AddHost(addr, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Addr returns the host's address.
+func (h *Host) Addr() ipv4.Addr { return h.addr }
+
+// Network returns the network the host is attached to.
+func (h *Host) Network() *Network { return h.net }
+
+// Clock returns the virtual clock.
+func (h *Host) Clock() *simclock.Clock { return h.net.clock }
+
+// PathMTU returns the host's current path MTU toward dst.
+func (h *Host) PathMTU(dst ipv4.Addr) int {
+	m := h.pmtu.MTU(dst)
+	if m > h.linkMTU {
+		m = h.linkMTU
+	}
+	return m
+}
+
+// Reassembler exposes the host's defragmentation cache (read-mostly; used
+// by measurements).
+func (h *Host) Reassembler() *ipv4.Reassembler { return h.reasm }
+
+// HandleUDP installs a handler for a UDP port.
+func (h *Host) HandleUDP(port uint16, fn UDPHandler) error {
+	if _, ok := h.udp[port]; ok {
+		return fmt.Errorf("%w: %s:%d", ErrPortInUse, h.addr, port)
+	}
+	h.udp[port] = fn
+	return nil
+}
+
+// UnhandleUDP removes a port handler.
+func (h *Host) UnhandleUDP(port uint16) { delete(h.udp, port) }
+
+// HandleICMP installs an observer for fragmentation-needed ICMPs.
+func (h *Host) HandleICMP(fn ICMPHandler) { h.icmp = fn }
+
+// AllocPort returns a fresh ephemeral port. Sequential by default; DNS
+// resolvers randomise ports themselves (that randomness is a resolver
+// security property, not a stack property).
+func (h *Host) AllocPort() uint16 {
+	p := h.nextPort
+	h.nextPort++
+	if h.nextPort == 0 {
+		h.nextPort = 49152
+	}
+	return p
+}
+
+// SendUDP builds a checksummed UDP datagram, wraps it in IPv4 packets
+// fragmented to the current path MTU, and sends them. It returns the IPID
+// used (visible to on-host observers; the attacker predicts it instead).
+func (h *Host) SendUDP(dst ipv4.Addr, srcPort, dstPort uint16, payload []byte) (uint16, error) {
+	d := &udp.Datagram{
+		Header:  udp.Header{SrcPort: srcPort, DstPort: dstPort},
+		Payload: payload,
+	}
+	wire := udp.WithChecksum(h.addr, dst, d.Marshal())
+	pkt := &ipv4.Packet{
+		Src:     h.addr,
+		Dst:     dst,
+		ID:      h.ids.Next(h.addr, dst),
+		Proto:   ipv4.ProtoUDP,
+		TTL:     ipv4.DefaultTTL,
+		Payload: wire,
+	}
+	frags, err := ipv4.Fragment(pkt, h.PathMTU(dst))
+	if err != nil {
+		return 0, fmt.Errorf("send udp %s -> %s: %w", h.addr, dst, err)
+	}
+	for _, f := range frags {
+		h.SentPackets++
+		h.net.Inject(f)
+	}
+	return pkt.ID, nil
+}
+
+// SendUDPMTU is SendUDP with an explicit MTU override, ignoring the path
+// MTU cache. Test nameservers in the ad-network study use this to respond
+// with fragmented packets "even if the size is way below the maximum MTU of
+// the path" (Section VIII-B).
+func (h *Host) SendUDPMTU(dst ipv4.Addr, srcPort, dstPort uint16, payload []byte, mtu int) (uint16, error) {
+	d := &udp.Datagram{
+		Header:  udp.Header{SrcPort: srcPort, DstPort: dstPort},
+		Payload: payload,
+	}
+	wire := udp.WithChecksum(h.addr, dst, d.Marshal())
+	pkt := &ipv4.Packet{
+		Src:     h.addr,
+		Dst:     dst,
+		ID:      h.ids.Next(h.addr, dst),
+		Proto:   ipv4.ProtoUDP,
+		TTL:     ipv4.DefaultTTL,
+		Payload: wire,
+	}
+	frags, err := ipv4.Fragment(pkt, mtu)
+	if err != nil {
+		return 0, fmt.Errorf("send udp %s -> %s: %w", h.addr, dst, err)
+	}
+	// Force at least two fragments when the datagram fits the MTU whole:
+	// split at the largest 8-byte boundary below the payload end.
+	if len(frags) == 1 && len(wire) > 16 {
+		cut := (len(wire) / 2) &^ 7
+		if cut >= 8 {
+			first := pkt.Clone()
+			first.MF = true
+			first.Payload = wire[:cut]
+			second := pkt.Clone()
+			second.FragOff = cut
+			second.Payload = wire[cut:]
+			frags = []*ipv4.Packet{first, second}
+		}
+	}
+	for _, f := range frags {
+		h.SentPackets++
+		h.net.Inject(f)
+	}
+	return pkt.ID, nil
+}
+
+// SendICMPFragNeeded emits a fragmentation-needed ICMP toward dst. Routers
+// use this legitimately; the attacker spoofs it via Network.Inject with a
+// crafted packet (see internal/attack).
+func (h *Host) SendICMPFragNeeded(dst ipv4.Addr, msg *ipv4.ICMPFragNeeded) {
+	pkt := &ipv4.Packet{
+		Src:     h.addr,
+		Dst:     dst,
+		ID:      h.ids.Next(h.addr, dst),
+		Proto:   ipv4.ProtoICMP,
+		TTL:     ipv4.DefaultTTL,
+		Payload: msg.Marshal(),
+	}
+	h.SentPackets++
+	h.net.Inject(pkt)
+}
+
+// ObserveRaw installs an observer that sees every packet delivered to this
+// host — IP header included — before protocol processing. The attacker uses
+// this to read the IPIDs of responses to its own probe queries (the IPID
+// prediction step of Section III-2).
+func (h *Host) ObserveRaw(fn func(*ipv4.Packet)) { h.rawObs = fn }
+
+// receive processes one delivered packet.
+func (h *Host) receive(pkt *ipv4.Packet) {
+	h.ReceivedPackets++
+	if h.rawObs != nil {
+		h.rawObs(pkt)
+	}
+	switch pkt.Proto {
+	case ipv4.ProtoICMP:
+		h.receiveICMP(pkt)
+	case ipv4.ProtoUDP:
+		h.receiveUDP(pkt)
+	}
+}
+
+func (h *Host) receiveICMP(pkt *ipv4.Packet) {
+	msg, err := ipv4.ParseICMPFragNeeded(pkt.Payload)
+	if err != nil || msg == nil {
+		return
+	}
+	// Real stacks accept fragmentation-needed ICMPs without validating the
+	// embedded header against in-flight traffic — the property the attack
+	// exploits. We update the PMTU toward the destination named in the
+	// embedded original header.
+	h.pmtu.Update(msg.OrigDst, int(msg.NextHopMTU))
+	if h.icmp != nil {
+		h.icmp(pkt.Src, msg)
+	}
+}
+
+func (h *Host) receiveUDP(pkt *ipv4.Packet) {
+	if h.dropFrag && pkt.IsFragment() {
+		return
+	}
+	whole, ok := h.reasm.Add(pkt)
+	if !ok {
+		return
+	}
+	if whole.IsFragment() {
+		return
+	}
+	if pkt.IsFragment() {
+		h.net.emit(TraceReassembled, whole)
+	}
+	if h.verify {
+		if err := udp.Verify(whole.Src, whole.Dst, whole.Payload); err != nil {
+			h.ChecksumErrors++
+			h.net.emit(TraceChecksumFail, whole)
+			return
+		}
+	}
+	d, err := udp.Unmarshal(whole.Payload)
+	if err != nil {
+		return
+	}
+	fn, ok := h.udp[d.Header.DstPort]
+	if !ok {
+		return
+	}
+	fn(whole.Src, d.Header.SrcPort, d.Payload)
+}

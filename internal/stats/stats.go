@@ -1,0 +1,229 @@
+// Package stats provides the small statistics and rendering helpers used by
+// the measurement harness: histograms, empirical CDFs, and fixed-width
+// tables that mirror the layout of the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over float64 samples.
+type Histogram struct {
+	Min, Max float64
+	BinWidth float64
+	counts   []int
+	under    int
+	over     int
+	total    int
+}
+
+// NewHistogram creates a histogram covering [min, max) with the given bin
+// width.
+func NewHistogram(min, max, binWidth float64) *Histogram {
+	n := int(math.Ceil((max - min) / binWidth))
+	if n < 1 {
+		n = 1
+	}
+	return &Histogram{Min: min, Max: max, BinWidth: binWidth, counts: make([]int, n)}
+}
+
+// Add records one sample. Out-of-range samples are clamped into the under/
+// over buckets (as Figure 7 does: "values below −50 ms and above 200 ms are
+// summed up on the sides").
+func (h *Histogram) Add(v float64) {
+	h.total++
+	switch {
+	case v < h.Min:
+		h.under++
+	case v >= h.Max:
+		h.over++
+	default:
+		h.counts[int((v-h.Min)/h.BinWidth)]++
+	}
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Bin returns the count of bin i (0-based); the under/over buckets are
+// reported by Under and Over.
+func (h *Histogram) Bin(i int) int { return h.counts[i] }
+
+// Bins returns the number of regular bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Under and Over return the clamped-tail counts.
+func (h *Histogram) Under() int { return h.under }
+
+// Over returns the count of samples at or above Max.
+func (h *Histogram) Over() int { return h.over }
+
+// Render draws an ASCII bar chart with the given maximum bar width.
+func (h *Histogram) Render(width int) string {
+	var sb strings.Builder
+	maxCount := 1
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.counts {
+		lo := h.Min + float64(i)*h.BinWidth
+		bar := strings.Repeat("#", c*width/maxCount)
+		fmt.Fprintf(&sb, "%10.1f | %-*s %d\n", lo, width, bar, c)
+	}
+	return sb.String()
+}
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (c *CDF) Add(v float64) {
+	c.samples = append(c.samples, v)
+	c.sorted = false
+}
+
+// Len returns the number of samples.
+func (c *CDF) Len() int { return len(c.samples) }
+
+func (c *CDF) sort() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// At returns P(X ≤ v).
+func (c *CDF) At(v float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.sort()
+	i := sort.SearchFloat64s(c.samples, math.Nextafter(v, math.Inf(1)))
+	return float64(i) / float64(len(c.samples))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]).
+func (c *CDF) Percentile(p float64) float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sort()
+	if p <= 0 {
+		return c.samples[0]
+	}
+	if p >= 100 {
+		return c.samples[len(c.samples)-1]
+	}
+	idx := p / 100 * float64(len(c.samples)-1)
+	lo := int(idx)
+	frac := idx - float64(lo)
+	if lo+1 >= len(c.samples) {
+		return c.samples[lo]
+	}
+	return c.samples[lo]*(1-frac) + c.samples[lo+1]*frac
+}
+
+// Points returns (x, P(X≤x)) pairs at the given x values — the series
+// plotted in Figure 5.
+func (c *CDF) Points(xs []float64) [][2]float64 {
+	out := make([][2]float64, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, [2]float64{x, c.At(x)})
+	}
+	return out
+}
+
+// Mean returns the sample mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the sample median.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Table renders fixed-width text tables in the style of the paper.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 1)
+	for _, v := range []float64{0, 0.5, 1, 5.9, 9.99} {
+		h.Add(v)
+	}
+	if h.Bin(0) != 2 || h.Bin(1) != 1 || h.Bin(5) != 1 || h.Bin(9) != 1 {
+		t.Errorf("bins wrong: %v %v %v %v", h.Bin(0), h.Bin(1), h.Bin(5), h.Bin(9))
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramClampsTails(t *testing.T) {
+	h := NewHistogram(-50, 200, 10)
+	h.Add(-100)
+	h.Add(500)
+	h.Add(0)
+	if h.Under() != 1 || h.Over() != 1 {
+		t.Errorf("under/over = %d/%d", h.Under(), h.Over())
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 3, 1)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	out := h.Render(20)
+	if !strings.Contains(out, "#") || len(strings.Split(out, "\n")) < 3 {
+		t.Errorf("render output unexpected:\n%s", out)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	var c CDF
+	for _, v := range []float64{292, 548, 548, 548, 1500} {
+		c.Add(v)
+	}
+	if got := c.At(291); got != 0 {
+		t.Errorf("At(291) = %f", got)
+	}
+	if got := c.At(292); got != 0.2 {
+		t.Errorf("At(292) = %f, want 0.2", got)
+	}
+	if got := c.At(548); got != 0.8 {
+		t.Errorf("At(548) = %f, want 0.8", got)
+	}
+	if got := c.At(1500); got != 1 {
+		t.Errorf("At(1500) = %f, want 1", got)
+	}
+}
+
+func TestCDFPercentile(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	if got := c.Percentile(50); math.Abs(got-50.5) > 1 {
+		t.Errorf("P50 = %f", got)
+	}
+	if got := c.Percentile(0); got != 1 {
+		t.Errorf("P0 = %f", got)
+	}
+	if got := c.Percentile(100); got != 100 {
+		t.Errorf("P100 = %f", got)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	var c CDF
+	c.Add(1)
+	c.Add(2)
+	pts := c.Points([]float64{0, 1, 2})
+	if pts[0][1] != 0 || pts[1][1] != 0.5 || pts[2][1] != 1 {
+		t.Errorf("points = %v", pts)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if c.At(5) != 0 {
+		t.Error("empty CDF At != 0")
+	}
+	if !math.IsNaN(c.Percentile(50)) {
+		t.Error("empty CDF percentile should be NaN")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Errorf("mean = %f", Mean(xs))
+	}
+	if Median(xs) != 2.5 {
+		t.Errorf("median = %f", Median(xs))
+	}
+	if Median([]float64{1, 2, 9}) != 2 {
+		t.Errorf("odd median = %f", Median([]float64{1, 2, 9}))
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) {
+		t.Error("empty mean/median should be NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Client", "Scenario", "Duration")
+	tb.AddRow("NTPd", "P2", "47 minutes")
+	tb.AddRow("NTPd", "P1", "17 minutes")
+	out := tb.String()
+	if !strings.Contains(out, "NTPd") || !strings.Contains(out, "47 minutes") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("lines = %d, want 4", len(lines))
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("x")
+	tb.AddRow(38.0451)
+	if !strings.Contains(tb.String(), "38.0") {
+		t.Errorf("float not formatted: %s", tb.String())
+	}
+}
+
+// Property: CDF.At is monotone and bounded in [0,1].
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(samples []float64, a, b float64) bool {
+		var c CDF
+		for _, s := range samples {
+			if !math.IsNaN(s) && !math.IsInf(s, 0) {
+				c.Add(s)
+			}
+		}
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := c.At(a), c.At(b)
+		return pa >= 0 && pb <= 1 && pa <= pb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram total equals adds.
+func TestPropertyHistogramTotal(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram(0, 100, 5)
+		n := 0
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Add(v)
+			n++
+		}
+		sum := h.Under() + h.Over()
+		for i := 0; i < h.Bins(); i++ {
+			sum += h.Bin(i)
+		}
+		return sum == n && h.Total() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package trigger models the "other systems using the same DNS resolver"
+// of Section IV-A(2) and the shared-resolver measurement of Section
+// VIII-B3: an SMTP server that performs domain-based anti-spam DNS lookups
+// on every incoming mail, and a web client that resolves the names of
+// embedded resources. Both share the victim network's resolver, so the
+// attacker can use them to issue the DNS queries it needs to poison —
+// including queries for attacker-chosen (long, cache-evicting) names that
+// NTP itself would never ask for.
+package trigger
+
+import (
+	"fmt"
+	"strings"
+
+	"dnstime/internal/dnsres"
+	"dnstime/internal/dnswire"
+	"dnstime/internal/ipv4"
+	"dnstime/internal/simnet"
+)
+
+// SMTPPort is the well-known SMTP port.
+const SMTPPort = 25
+
+// SMTPServer is a minimal mail host: on every incoming message it resolves
+// the sender domain through its configured resolver (the anti-spam lookup
+// the paper leverages). The "protocol" is a single UDP datagram carrying
+// "MAIL FROM:<user@domain>" — transport realism is irrelevant here; the
+// DNS side effect is the point.
+type SMTPServer struct {
+	host *simnet.Host
+	stub *dnsres.Stub
+
+	// LookupsIssued counts anti-spam DNS lookups performed.
+	LookupsIssued int
+	// Accepted counts processed messages.
+	Accepted int
+}
+
+// NewSMTPServer binds a mail server to port 25 of host, using the resolver
+// at resolverAddr for sender-domain validation.
+func NewSMTPServer(host *simnet.Host, resolverAddr ipv4.Addr, seed int64) (*SMTPServer, error) {
+	s := &SMTPServer{
+		host: host,
+		stub: dnsres.NewStub(host, resolverAddr, seed),
+	}
+	if err := host.HandleUDP(SMTPPort, s.handle); err != nil {
+		return nil, fmt.Errorf("trigger: bind smtp: %w", err)
+	}
+	return s, nil
+}
+
+// Addr returns the mail server's address.
+func (s *SMTPServer) Addr() ipv4.Addr { return s.host.Addr() }
+
+func (s *SMTPServer) handle(src ipv4.Addr, srcPort uint16, payload []byte) {
+	domain, ok := senderDomain(string(payload))
+	if !ok {
+		return
+	}
+	s.Accepted++
+	s.LookupsIssued++
+	// Anti-spam validation: resolve the sender domain. The result is
+	// irrelevant to the attacker — the query is the payload.
+	s.stub.Lookup(domain, dnswire.TypeA, true, func(*dnswire.Message, error) {})
+}
+
+// senderDomain extracts the domain of a "MAIL FROM:<user@domain>" line.
+func senderDomain(msg string) (string, bool) {
+	const prefix = "MAIL FROM:<"
+	i := strings.Index(msg, prefix)
+	if i < 0 {
+		return "", false
+	}
+	rest := msg[i+len(prefix):]
+	end := strings.IndexByte(rest, '>')
+	if end < 0 {
+		return "", false
+	}
+	addr := rest[:end]
+	at := strings.LastIndexByte(addr, '@')
+	if at < 0 || at == len(addr)-1 {
+		return "", false
+	}
+	return dnswire.CanonicalName(addr[at+1:]), true
+}
+
+// SendMail delivers one message from `from` (an email address) to the mail
+// server at mx, causing the server's resolver to look up the sender domain.
+// This is the attacker's §IV-A(2) trigger: the sender domain is attacker-
+// chosen, so the attacker controls which name the victim resolver queries.
+func SendMail(fromHost *simnet.Host, mx ipv4.Addr, from string) error {
+	payload := []byte("MAIL FROM:<" + from + ">\r\n")
+	port := fromHost.AllocPort()
+	_, err := fromHost.SendUDP(mx, port, SMTPPort, payload)
+	return err
+}
+
+// WebClient models a browser behind the shared resolver: Browse resolves a
+// page's host and each embedded resource name — the mechanism both the
+// ad-network study (Section VIII-B) and the attack's web-based trigger use.
+type WebClient struct {
+	host *simnet.Host
+	stub *dnsres.Stub
+
+	// Loaded maps resource names to whether their DNS lookup succeeded
+	// (the onsuccess/onerror signal of the study's image loads).
+	Loaded map[string]bool
+}
+
+// NewWebClient creates a browser on host using the resolver at
+// resolverAddr.
+func NewWebClient(host *simnet.Host, resolverAddr ipv4.Addr, seed int64) *WebClient {
+	return &WebClient{
+		host:   host,
+		stub:   dnsres.NewStub(host, resolverAddr, seed),
+		Loaded: make(map[string]bool),
+	}
+}
+
+// Browse resolves every resource name; results appear in Loaded once the
+// simulation advances past the lookups.
+func (w *WebClient) Browse(resources []string) {
+	for _, name := range resources {
+		name := dnswire.CanonicalName(name)
+		w.stub.LookupA(name, func(addrs []ipv4.Addr, _ uint32, err error) {
+			w.Loaded[name] = err == nil && len(addrs) > 0
+		})
+	}
+}

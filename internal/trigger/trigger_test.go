@@ -1,0 +1,146 @@
+package trigger
+
+import (
+	"testing"
+	"time"
+
+	"dnstime/internal/dnsauth"
+	"dnstime/internal/dnsres"
+	"dnstime/internal/dnswire"
+	"dnstime/internal/ipv4"
+	"dnstime/internal/simclock"
+	"dnstime/internal/simnet"
+)
+
+var (
+	t0      = time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	nsAddr  = ipv4.MustParseAddr("198.51.100.53")
+	resAddr = ipv4.MustParseAddr("192.0.2.53")
+	mxAddr  = ipv4.MustParseAddr("192.0.2.25")
+	eveAddr = ipv4.MustParseAddr("203.0.113.66")
+)
+
+type fixture struct {
+	clk  *simclock.Clock
+	net  *simnet.Network
+	auth *dnsauth.Server
+	res  *dnsres.Resolver
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	clk := simclock.New(t0)
+	n := simnet.New(clk)
+	authHost := n.MustAddHost(nsAddr, simnet.HostConfig{})
+	wc := ipv4.Addr{7, 7, 7, 7}
+	auth, err := dnsauth.New(authHost, dnsauth.Config{WildcardA: &wc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth.AddZone(dnsauth.NewZone("pool.ntp.org"))
+	auth.AddPool(&dnsauth.Pool{Name: "pool.ntp.org", Addrs: []ipv4.Addr{{10, 0, 0, 1}}, PerResponse: 1, TTL: 150})
+	resHost := n.MustAddHost(resAddr, simnet.HostConfig{})
+	res, err := dnsres.New(resHost, dnsres.Config{Delegations: map[string]ipv4.Addr{"ntp.org": nsAddr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{clk: clk, net: n, auth: auth, res: res}
+}
+
+func TestSMTPTriggersResolverQuery(t *testing.T) {
+	f := newFixture(t)
+	mxHost := f.net.MustAddHost(mxAddr, simnet.HostConfig{})
+	mx, err := NewSMTPServer(mxHost, resAddr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eve := f.net.MustAddHost(eveAddr, simnet.HostConfig{})
+	// The attacker mails the victim network; the sender domain is the
+	// attacker-chosen query.
+	if err := SendMail(eve, mxAddr, "bounce@victim-query.pool.ntp.org"); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.RunFor(5 * time.Second)
+	if mx.LookupsIssued != 1 || mx.Accepted != 1 {
+		t.Fatalf("lookups=%d accepted=%d", mx.LookupsIssued, mx.Accepted)
+	}
+	// The resolver now holds the attacker-chosen record.
+	if _, ok := f.res.Peek("victim-query.pool.ntp.org", dnswire.TypeA); !ok {
+		t.Error("SMTP trigger did not populate the resolver cache")
+	}
+}
+
+func TestSMTPIgnoresGarbage(t *testing.T) {
+	f := newFixture(t)
+	mxHost := f.net.MustAddHost(mxAddr, simnet.HostConfig{})
+	mx, err := NewSMTPServer(mxHost, resAddr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eve := f.net.MustAddHost(eveAddr, simnet.HostConfig{})
+	for _, bad := range []string{"HELO", "MAIL FROM:<nodomain>", "MAIL FROM:<trailing@>"} {
+		port := eve.AllocPort()
+		eve.SendUDP(mxAddr, port, SMTPPort, []byte(bad))
+	}
+	f.clk.RunFor(5 * time.Second)
+	if mx.LookupsIssued != 0 {
+		t.Errorf("garbage mail triggered %d lookups", mx.LookupsIssued)
+	}
+}
+
+func TestSenderDomainParsing(t *testing.T) {
+	tests := []struct {
+		in     string
+		domain string
+		ok     bool
+	}{
+		{"MAIL FROM:<a@b.example>\r\n", "b.example", true},
+		{"MAIL FROM:<A@B.EXAMPLE>", "b.example", true},
+		{"MAIL FROM:<a@b@c.example>", "c.example", true},
+		{"MAIL FROM:<nodomain>", "", false},
+		{"RCPT TO:<a@b>", "", false},
+		{"MAIL FROM:<unclosed@x", "", false},
+	}
+	for _, tt := range tests {
+		got, ok := senderDomain(tt.in)
+		if ok != tt.ok || got != tt.domain {
+			t.Errorf("senderDomain(%q) = %q,%t want %q,%t", tt.in, got, ok, tt.domain, tt.ok)
+		}
+	}
+}
+
+func TestWebClientLoadsResources(t *testing.T) {
+	f := newFixture(t)
+	browser := NewWebClient(f.net.MustAddHost(ipv4.MustParseAddr("192.0.2.80"), simnet.HostConfig{}), resAddr, 2)
+	browser.Browse([]string{"tok1.ftiny.pool.ntp.org", "nosuch.elsewhere.net"})
+	f.clk.RunFor(15 * time.Second)
+	if !browser.Loaded["tok1.ftiny.pool.ntp.org"] {
+		t.Error("resolvable resource not loaded")
+	}
+	if browser.Loaded["nosuch.elsewhere.net"] {
+		t.Error("unresolvable resource loaded")
+	}
+}
+
+// TestSharedResolverAttackPath: the full §IV-A(2) flow — the attacker uses
+// the mail server sharing the victim resolver to trigger the query it then
+// races with planted fragments. (The racing itself is covered in
+// internal/attack and internal/core; here we verify the trigger reaches the
+// same resolver the NTP client uses.)
+func TestSharedResolverAttackPath(t *testing.T) {
+	f := newFixture(t)
+	mxHost := f.net.MustAddHost(mxAddr, simnet.HostConfig{})
+	if _, err := NewSMTPServer(mxHost, resAddr, 1); err != nil {
+		t.Fatal(err)
+	}
+	eve := f.net.MustAddHost(eveAddr, simnet.HostConfig{})
+	if err := SendMail(eve, mxAddr, "x@pool.ntp.org"); err != nil {
+		t.Fatal(err)
+	}
+	f.clk.RunFor(5 * time.Second)
+	// The same cache entry an NTP client's lookup would hit is now warm.
+	entry, ok := f.res.Peek("pool.ntp.org", dnswire.TypeA)
+	if !ok || len(entry.RRs) == 0 {
+		t.Fatal("shared-resolver trigger did not warm the NTP discovery record")
+	}
+}

@@ -1,0 +1,180 @@
+// Package udp implements the UDP datagram wire format and the Internet
+// ones'-complement checksum, including the checksum-fixing primitive used by
+// the fragment-replacement attack (Section III of the paper): an off-path
+// attacker that modifies the second IP fragment of a UDP datagram cannot
+// change the checksum field (it lives in the first fragment), so it instead
+// adjusts slack bytes in its spoofed fragment until the ones'-complement sum
+// of the modified fragment equals that of the original.
+package udp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// HeaderLen is the length of a UDP header in bytes.
+const HeaderLen = 8
+
+// Errors returned by this package.
+var (
+	ErrShortDatagram = errors.New("udp: datagram shorter than header")
+	ErrBadLength     = errors.New("udp: length field disagrees with payload")
+	ErrBadChecksum   = errors.New("udp: checksum mismatch")
+)
+
+// Header is a UDP header.
+type Header struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16 // header + payload, octets
+	Checksum uint16
+}
+
+// Datagram is a UDP datagram: header plus payload.
+type Datagram struct {
+	Header  Header
+	Payload []byte
+}
+
+// Marshal encodes the datagram to wire format. The Length field is set from
+// the payload; the Checksum field is written as-is (use ComputeChecksum or
+// WithChecksum to fill it).
+func (d *Datagram) Marshal() []byte {
+	b := make([]byte, HeaderLen+len(d.Payload))
+	binary.BigEndian.PutUint16(b[0:2], d.Header.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], d.Header.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], uint16(HeaderLen+len(d.Payload)))
+	binary.BigEndian.PutUint16(b[6:8], d.Header.Checksum)
+	copy(b[HeaderLen:], d.Payload)
+	return b
+}
+
+// Unmarshal decodes a wire-format UDP datagram.
+func Unmarshal(b []byte) (*Datagram, error) {
+	if len(b) < HeaderLen {
+		return nil, ErrShortDatagram
+	}
+	h := Header{
+		SrcPort:  binary.BigEndian.Uint16(b[0:2]),
+		DstPort:  binary.BigEndian.Uint16(b[2:4]),
+		Length:   binary.BigEndian.Uint16(b[4:6]),
+		Checksum: binary.BigEndian.Uint16(b[6:8]),
+	}
+	if int(h.Length) != len(b) {
+		return nil, fmt.Errorf("%w: field=%d actual=%d", ErrBadLength, h.Length, len(b))
+	}
+	payload := make([]byte, len(b)-HeaderLen)
+	copy(payload, b[HeaderLen:])
+	return &Datagram{Header: h, Payload: payload}, nil
+}
+
+// Sum1 computes the 16-bit ones'-complement sum of b (without the final
+// inversion). Odd-length input is padded with a zero byte, per RFC 1071.
+func Sum1(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return uint16(sum)
+}
+
+// addOnes adds two 16-bit values in ones'-complement arithmetic.
+func addOnes(a, b uint16) uint16 {
+	s := uint32(a) + uint32(b)
+	if s > 0xffff {
+		s = (s & 0xffff) + (s >> 16)
+	}
+	return uint16(s)
+}
+
+// subOnes computes a − b in ones'-complement arithmetic.
+func subOnes(a, b uint16) uint16 {
+	return addOnes(a, ^b)
+}
+
+// ComputeChecksum computes the UDP checksum over the RFC 768 pseudo-header
+// (source and destination IPv4 addresses, protocol 17, UDP length) and the
+// datagram bytes. Per the RFC, a computed checksum of zero is transmitted as
+// 0xFFFF.
+func ComputeChecksum(src, dst [4]byte, datagram []byte) uint16 {
+	pseudo := make([]byte, 12)
+	copy(pseudo[0:4], src[:])
+	copy(pseudo[4:8], dst[:])
+	pseudo[9] = 17 // protocol: UDP
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(datagram)))
+
+	sum := addOnes(Sum1(pseudo), Sum1(datagram))
+	cs := ^sum
+	if cs == 0 {
+		cs = 0xffff
+	}
+	return cs
+}
+
+// Verify checks the checksum of a wire-format datagram against the given
+// pseudo-header addresses. A zero checksum field means "no checksum" and
+// always verifies, per RFC 768.
+func Verify(src, dst [4]byte, datagram []byte) error {
+	if len(datagram) < HeaderLen {
+		return ErrShortDatagram
+	}
+	field := binary.BigEndian.Uint16(datagram[6:8])
+	if field == 0 {
+		return nil
+	}
+	zeroed := make([]byte, len(datagram))
+	copy(zeroed, datagram)
+	zeroed[6], zeroed[7] = 0, 0
+	if got := ComputeChecksum(src, dst, zeroed); got != field {
+		return fmt.Errorf("%w: field=%#04x computed=%#04x", ErrBadChecksum, field, got)
+	}
+	return nil
+}
+
+// WithChecksum returns a copy of the wire-format datagram with its checksum
+// field computed and filled in.
+func WithChecksum(src, dst [4]byte, datagram []byte) []byte {
+	out := make([]byte, len(datagram))
+	copy(out, datagram)
+	out[6], out[7] = 0, 0
+	cs := ComputeChecksum(src, dst, out)
+	binary.BigEndian.PutUint16(out[6:8], cs)
+	return out
+}
+
+// FixSum adjusts the 16-bit big-endian value at offset slackOff in modified
+// so that Sum1(modified) == Sum1(original). This is the attacker's checksum
+// fix from Section III: original is the real second fragment (as predicted
+// by the attacker), modified is the spoofed second fragment carrying the
+// malicious records, and slackOff points at two attacker-controlled
+// "unimportant" bytes (e.g. inside a padding record). slackOff must be even
+// and within modified.
+func FixSum(original, modified []byte, slackOff int) error {
+	if slackOff < 0 || slackOff+2 > len(modified) {
+		return fmt.Errorf("udp: slack offset %d out of range [0,%d)", slackOff, len(modified)-1)
+	}
+	if slackOff%2 != 0 {
+		return fmt.Errorf("udp: slack offset %d must be 16-bit aligned", slackOff)
+	}
+	want := Sum1(original)
+	// Zero the slack first so its current content doesn't feed the delta.
+	modified[slackOff], modified[slackOff+1] = 0, 0
+	have := Sum1(modified)
+	delta := subOnes(want, have)
+	binary.BigEndian.PutUint16(modified[slackOff:slackOff+2], delta)
+	if got := Sum1(modified); got != want {
+		// Ones'-complement has two zero representations (0x0000/0xffff);
+		// normalise by re-checking and adjusting once.
+		if subOnes(want, got) != 0 {
+			return fmt.Errorf("udp: checksum fix failed: want %#04x got %#04x", want, got)
+		}
+	}
+	return nil
+}
