@@ -5,6 +5,7 @@
 package dnstime_test
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -16,6 +17,68 @@ import (
 	"dnstime/internal/ipv4"
 	"dnstime/internal/simclock"
 )
+
+// campaignSeeds sizes the campaign benchmarks: the acceptance workload is
+// 64 seeds (DESIGN.md §4).
+const campaignSeeds = 64
+
+// benchCampaignTableI runs a 64-seed Table I campaign at the given worker
+// count and reports runs/sec plus the aggregate headline numbers. Compare
+// BenchmarkCampaignTableI against BenchmarkCampaignTableISerial for the
+// parallel speedup (>2× expected on a multi-core runner).
+func benchCampaignTableI(b *testing.B, workers int) {
+	profiles := len(dnstime.AllProfiles())
+	var vulnerable int
+	for i := 0; i < b.N; i++ {
+		rows, err := dnstime.CampaignTableI(dnstime.CampaignTableIOptions{
+			Seeds:   campaignSeeds,
+			Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		vulnerable = 0
+		for _, r := range rows {
+			if r.Boot.Successes == r.Boot.Runs {
+				vulnerable++
+			}
+		}
+	}
+	b.ReportMetric(float64(vulnerable), "boot-vulnerable")
+	b.ReportMetric(float64(b.N*campaignSeeds*profiles)/b.Elapsed().Seconds(), "runs/sec")
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkCampaignTableI runs the 64-seed Table I campaign on all cores.
+func BenchmarkCampaignTableI(b *testing.B) {
+	benchCampaignTableI(b, runtime.GOMAXPROCS(0))
+}
+
+// BenchmarkCampaignTableISerial is the same campaign at -workers 1: the
+// serial baseline the parallel engine must beat.
+func BenchmarkCampaignTableISerial(b *testing.B) {
+	benchCampaignTableI(b, 1)
+}
+
+// BenchmarkCampaignRuntime fans the §IV-B run-time attack (ntpd, P1)
+// across 64 seeds and reports runs/sec and the aggregate statistics.
+func BenchmarkCampaignRuntime(b *testing.B) {
+	var agg dnstime.CampaignAggregate
+	for i := 0; i < b.N; i++ {
+		var err error
+		agg, err = dnstime.RunCampaign(dnstime.CampaignSpec{
+			Kind:    dnstime.CampaignRuntime,
+			Profile: dnstime.ProfileNTPd,
+			Seeds:   campaignSeeds,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(agg.SuccessRate, "success-pct")
+	b.ReportMetric(agg.P95TTS/60, "p95-tts-min")
+	b.ReportMetric(float64(b.N*campaignSeeds)/b.Elapsed().Seconds(), "runs/sec")
+}
 
 // BenchmarkTableIClientMatrix regenerates Table I: boot-time attack runs
 // against all seven client profiles plus the run-time applicability

@@ -1,12 +1,18 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation and prints them in paper-like layout.
+// evaluation and prints them in paper-like layout, and runs parallel
+// multi-seed campaigns over the headline attacks.
 //
 // Usage:
 //
 //	experiments [-seed N] [-fast] [-only table3,fig5,...]
+//	experiments campaigns [-seeds N] [-workers M] [-json] [-only table1,boot,runtime,chronos]
 //
-// -fast skips the slowest experiments (Table II's four full run-time
-// attacks and the 2432-server rate-limit scan).
+// The default (no subcommand) is the original single-seed paper
+// reproduction; -fast skips the slowest experiments (Table II's four full
+// run-time attacks and the 2432-server rate-limit scan). The campaigns
+// subcommand fans each selected experiment out across -seeds independent
+// seeds on -workers workers (default GOMAXPROCS) and prints aggregate
+// statistics; output is identical at any worker count.
 package main
 
 import (
@@ -20,6 +26,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "campaigns" {
+		if err := runCampaigns(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments campaigns:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	seed := flag.Int64("seed", 1, "deterministic seed for all experiments")
 	fast := flag.Bool("fast", false, "skip the slowest experiments")
 	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,table5,fig5,fig6,fig7,ratelimit,nsfrag,chronos,shared")

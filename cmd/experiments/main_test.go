@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFastTable1 smoke-tests the single-seed path the same way the CLI
+// invokes it: experiments -fast -only table1.
+func TestRunFastTable1(t *testing.T) {
+	if err := run(1, true, "table1"); err != nil {
+		t.Fatalf("run(-fast -only table1): %v", err)
+	}
+}
+
+// TestRunCampaignsTable1 smoke-tests the campaigns subcommand and checks
+// its rendered output names every client profile.
+func TestRunCampaignsTable1(t *testing.T) {
+	var out bytes.Buffer
+	err := runCampaigns([]string{"-seeds", "4", "-workers", "8", "-only", "table1", "-q"}, &out)
+	if err != nil {
+		t.Fatalf("runCampaigns: %v", err)
+	}
+	for _, client := range []string{"NTPd", "chrony", "openntpd", "ntpdate", "Android", "ntpclient", "systemd-timesyncd"} {
+		if !strings.Contains(out.String(), client) {
+			t.Errorf("campaign output missing client %q:\n%s", client, out.String())
+		}
+	}
+}
+
+// TestRunCampaignsDeterministicOutput: the rendered campaign output is
+// byte-identical across worker counts.
+func TestRunCampaignsDeterministicOutput(t *testing.T) {
+	render := func(workers string) string {
+		var out bytes.Buffer
+		err := runCampaigns([]string{"-seeds", "8", "-workers", workers, "-only", "table1,chronos", "-json", "-q"}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if a, b := render("1"), render("8"); a != b {
+		t.Errorf("output differs between -workers 1 and -workers 8:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRunCampaignsBadClient(t *testing.T) {
+	if err := runCampaigns([]string{"-client", "sundial"}, nil); err == nil {
+		t.Error("unknown client accepted")
+	}
+}
+
+func TestRunCampaignsBadSeeds(t *testing.T) {
+	for _, seeds := range []string{"0", "-3"} {
+		if err := runCampaigns([]string{"-seeds", seeds}, nil); err == nil {
+			t.Errorf("-seeds %s accepted", seeds)
+		}
+	}
+}

@@ -27,6 +27,7 @@ package dnstime
 
 import (
 	"dnstime/internal/analysis"
+	"dnstime/internal/campaign"
 	"dnstime/internal/chronos"
 	"dnstime/internal/core"
 	"dnstime/internal/measure"
@@ -41,8 +42,10 @@ type (
 	Lab = core.Lab
 	// LabConfig sizes the laboratory.
 	LabConfig = core.LabConfig
-	// Campaign is a running §IV-A fragment-planting campaign.
-	Campaign = core.Campaign
+	// PoisonCampaign is a running §IV-A fragment-planting campaign
+	// (from Lab.StartPoisonCampaign) — unrelated to the multi-seed
+	// Campaign* experiment engine below.
+	PoisonCampaign = core.Campaign
 )
 
 // Lab constructors.
@@ -87,6 +90,41 @@ var (
 const (
 	ScenarioP1 = core.ScenarioP1
 	ScenarioP2 = core.ScenarioP2
+)
+
+// Campaign engine: parallel multi-seed experiment fan-out (see DESIGN.md
+// "Concurrency contract"). A campaign runs one attack spec across N
+// independent seeds on a worker pool and folds the outcomes into aggregate
+// statistics whose bytes do not depend on the worker count.
+type (
+	// CampaignSpec describes one campaign (attack kind, client profile,
+	// LabConfig template, seed range, worker count).
+	CampaignSpec = campaign.Spec
+	// CampaignKind selects the attack a campaign repeats.
+	CampaignKind = campaign.Kind
+	// CampaignResult is one per-seed run outcome.
+	CampaignResult = campaign.Result
+	// CampaignAggregate is a campaign's folded statistics.
+	CampaignAggregate = campaign.Aggregate
+	// CampaignTableIRow is one aggregated Table I row.
+	CampaignTableIRow = campaign.TableIRow
+	// CampaignTableIOptions sizes a Table I campaign.
+	CampaignTableIOptions = campaign.TableIOptions
+)
+
+// Campaign attack kinds.
+const (
+	CampaignBootTime = campaign.BootTime
+	CampaignRuntime  = campaign.Runtime
+	CampaignChronos  = campaign.Chronos
+)
+
+// Campaign runners.
+var (
+	// RunCampaign fans one experiment spec out across N seeds.
+	RunCampaign = campaign.Run
+	// CampaignTableI aggregates Table I over a whole seed range.
+	CampaignTableI = campaign.TableI
 )
 
 // NTP client behaviour profiles (Table I).

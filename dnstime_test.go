@@ -27,6 +27,24 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 	}
 }
 
+func TestFacadeCampaign(t *testing.T) {
+	agg, err := dnstime.RunCampaign(dnstime.CampaignSpec{
+		Kind:    dnstime.CampaignBootTime,
+		Profile: dnstime.ProfileNTPd,
+		Seeds:   4,
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 4 || agg.Successes != 4 {
+		t.Errorf("campaign = %d/%d shifted, want 4/4", agg.Successes, agg.Runs)
+	}
+	if agg.Label != "boot-time/NTPd" {
+		t.Errorf("label = %q", agg.Label)
+	}
+}
+
 func TestFacadeTableIII(t *testing.T) {
 	rows := dnstime.TableIII(dnstime.DefaultPRate)
 	if len(rows) != 9 {

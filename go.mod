@@ -1,0 +1,3 @@
+module dnstime
+
+go 1.24

@@ -1,0 +1,295 @@
+// Package campaign is the parallel multi-seed experiment engine: it fans
+// one experiment spec (attack kind, client profile, LabConfig template) out
+// across N independent seeds on a pool of workers and folds the per-run
+// outcomes into aggregate statistics (success rate with Wilson confidence
+// interval, mean/median/p95 time-to-shift).
+//
+// Each run builds its own Lab around its own simclock.Clock, so runs share
+// no state and the fan-out is embarrassingly parallel. Results are merged
+// in seed order regardless of completion order, so aggregate output is
+// byte-identical at any worker count (see DESIGN.md "Concurrency
+// contract").
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"dnstime/internal/core"
+	"dnstime/internal/ntpclient"
+	"dnstime/internal/stats"
+)
+
+// Kind selects which attack experiment a campaign runs per seed.
+type Kind int
+
+// The three headline attacks.
+const (
+	// BootTime runs the §IV-A boot-time attack against Spec.Profile.
+	BootTime Kind = iota + 1
+	// Runtime runs the §IV-B run-time attack against Spec.Profile under
+	// Spec.Scenario.
+	Runtime
+	// Chronos runs the §VI-C Chronos pool-poisoning attack.
+	Chronos
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case BootTime:
+		return "boot-time"
+	case Runtime:
+		return "runtime"
+	case Chronos:
+		return "chronos"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// measuresTTS reports whether the kind produces a time-to-shift duration.
+// The Chronos attack has no meaningful one: success is decided at the end
+// of the fixed 24-hour pool-generation window.
+func (k Kind) measuresTTS() bool { return k == BootTime || k == Runtime }
+
+// ErrBadSpec reports an unusable campaign spec.
+var ErrBadSpec = errors.New("campaign: bad spec")
+
+// Spec describes one campaign: the experiment to repeat and how to fan it
+// out.
+type Spec struct {
+	// Kind selects the attack (required).
+	Kind Kind
+	// Profile is the NTP client profile (BootTime and Runtime kinds).
+	Profile ntpclient.Profile
+	// Scenario is the run-time scenario (Runtime kind; default P1).
+	Scenario core.RuntimeScenario
+	// ChronosN is the number of honest hourly pool queries completed
+	// before poisoning lands (Chronos kind; default 5).
+	ChronosN int
+	// ChronosSpoofed is the address count of the poisoned response
+	// (Chronos kind; default 89).
+	ChronosSpoofed int
+	// Lab is the LabConfig template; Seed is overwritten per run.
+	Lab core.LabConfig
+	// Seeds is the number of independent seeds (default 16). Run i uses
+	// seed BaseSeed+i.
+	Seeds int
+	// BaseSeed is the first seed (default 1).
+	BaseSeed int64
+	// Workers caps concurrent runs (default GOMAXPROCS).
+	Workers int
+	// Progress, if set, is called after each completed run with the
+	// number done so far. Calls are serialised but arrive in completion
+	// order, not seed order.
+	Progress func(done, total int)
+}
+
+func (s *Spec) applyDefaults() error {
+	switch s.Kind {
+	case BootTime, Runtime, Chronos:
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrBadSpec, int(s.Kind))
+	}
+	if (s.Kind == BootTime || s.Kind == Runtime) && s.Profile.Name == "" {
+		return fmt.Errorf("%w: %s campaign needs a client profile", ErrBadSpec, s.Kind)
+	}
+	if s.Scenario == 0 {
+		s.Scenario = core.ScenarioP1
+	}
+	if s.ChronosN == 0 {
+		s.ChronosN = 5
+	}
+	if s.ChronosSpoofed == 0 {
+		s.ChronosSpoofed = 89
+	}
+	if s.Seeds <= 0 {
+		s.Seeds = 16
+	}
+	if s.BaseSeed == 0 {
+		s.BaseSeed = 1
+	}
+	if s.Workers <= 0 {
+		s.Workers = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// Label names the campaign for progress reporting and rendered output.
+func (s *Spec) Label() string {
+	switch s.Kind {
+	case Runtime:
+		return fmt.Sprintf("%s/%s/%s", s.Kind, s.Profile.Name, s.Scenario)
+	case Chronos:
+		return fmt.Sprintf("%s/N=%d", s.Kind, s.ChronosN)
+	default:
+		return fmt.Sprintf("%s/%s", s.Kind, s.Profile.Name)
+	}
+}
+
+// Result is one per-seed run outcome.
+type Result struct {
+	Seed int64 `json:"seed"`
+	// Success: the victim clock accepted the attacker's shift.
+	Success bool `json:"success"`
+	// TimeToShift is attack start → malicious step (successful runs).
+	TimeToShift time.Duration `json:"time_to_shift_ns"`
+	// ClockOffset is the victim's final clock error.
+	ClockOffset time.Duration `json:"clock_offset_ns"`
+	// Err is the run error, if any ("" on clean runs).
+	Err string `json:"err,omitempty"`
+}
+
+// Aggregate folds a campaign's per-run results, merged in seed order.
+type Aggregate struct {
+	Label     string `json:"label"`
+	Runs      int    `json:"runs"`
+	Errors    int    `json:"errors"`
+	Successes int    `json:"successes"`
+	// SuccessRate is the success fraction in percent, with its 95% Wilson
+	// interval (also percent).
+	SuccessRate float64        `json:"success_rate_pct"`
+	SuccessCI   stats.Interval `json:"success_ci_pct"`
+	// Time-to-shift statistics over the TTSRuns successful runs of a
+	// kind that measures one, in seconds. TTSRuns is 0 (and the other
+	// fields meaningless) for kinds without a time-to-shift, e.g.
+	// Chronos.
+	TTSRuns   int            `json:"tts_runs"`
+	MeanTTS   float64        `json:"mean_tts_s"`
+	MedianTTS float64        `json:"median_tts_s"`
+	P95TTS    float64        `json:"p95_tts_s"`
+	TTSCI     stats.Interval `json:"mean_tts_ci_s"`
+	// PerRun lists every run in seed order.
+	PerRun []Result `json:"per_run,omitempty"`
+}
+
+// String renders the aggregate as one human-readable line.
+func (a Aggregate) String() string {
+	tts := ""
+	if a.TTSRuns > 0 {
+		tts = fmt.Sprintf(", time-to-shift mean %.0fs median %.0fs p95 %.0fs",
+			a.MeanTTS, a.MedianTTS, a.P95TTS)
+	}
+	return fmt.Sprintf(
+		"%s: %d/%d shifted (%.1f%%, 95%% CI %.1f–%.1f%%)%s, errors %d",
+		a.Label, a.Successes, a.Runs, a.SuccessRate, a.SuccessCI.Lo, a.SuccessCI.Hi,
+		tts, a.Errors)
+}
+
+// Run executes the campaign: Spec.Seeds independent runs on Spec.Workers
+// workers, folded into an Aggregate whose contents do not depend on the
+// worker count.
+func Run(spec Spec) (Aggregate, error) {
+	if err := spec.applyDefaults(); err != nil {
+		return Aggregate{}, err
+	}
+	results := make([]Result, spec.Seeds)
+	runPool(spec.Seeds, spec.Workers, spec.Progress, func(i int) {
+		results[i] = runOne(&spec, spec.BaseSeed+int64(i))
+	})
+	return fold(spec.Label(), results, spec.Kind), nil
+}
+
+// runPool runs fn(0..n-1) on the given number of workers and reports
+// completion counts through progress (if non-nil). fn must only touch
+// slot i of shared state.
+func runPool(n, workers int, progress func(done, total int), fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+				if progress != nil {
+					mu.Lock()
+					done++
+					progress(done, n)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// runOne executes one seed's experiment in a fresh Lab.
+func runOne(spec *Spec, seed int64) Result {
+	cfg := spec.Lab
+	cfg.Seed = seed
+	out := Result{Seed: seed}
+	switch spec.Kind {
+	case BootTime:
+		res, err := core.RunBootTimeAttack(spec.Profile, cfg)
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		out.Success = res.Shifted
+		out.TimeToShift = res.TimeToShift
+		out.ClockOffset = res.ClockOffset
+	case Runtime:
+		res, err := core.RunRuntimeAttack(spec.Profile, spec.Scenario, cfg)
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		out.Success = res.Succeeded
+		out.TimeToShift = res.Duration
+		out.ClockOffset = res.ClockOffset
+	case Chronos:
+		res, err := core.RunChronosAttack(spec.ChronosN, spec.ChronosSpoofed, cfg)
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		out.Success = res.Shifted
+		out.ClockOffset = res.ClockOffset
+	}
+	return out
+}
+
+// fold merges per-run results (already in seed order) into an Aggregate.
+func fold(label string, results []Result, kind Kind) Aggregate {
+	agg := Aggregate{Label: label, Runs: len(results), PerRun: results}
+	var tts []float64
+	for _, r := range results {
+		if r.Err != "" {
+			agg.Errors++
+			continue
+		}
+		if r.Success {
+			agg.Successes++
+			if kind.measuresTTS() {
+				tts = append(tts, r.TimeToShift.Seconds())
+			}
+		}
+	}
+	agg.TTSRuns = len(tts)
+	if agg.Runs > 0 {
+		agg.SuccessRate = 100 * float64(agg.Successes) / float64(agg.Runs)
+	}
+	ci := stats.Wilson(agg.Successes, agg.Runs)
+	agg.SuccessCI = stats.Interval{Lo: 100 * ci.Lo, Hi: 100 * ci.Hi}
+	if len(tts) > 0 {
+		agg.MeanTTS = stats.Mean(tts)
+		agg.MedianTTS = stats.Median(tts)
+		agg.P95TTS = stats.PercentileOf(tts, 95)
+		agg.TTSCI = stats.MeanCI(tts)
+	}
+	return agg
+}

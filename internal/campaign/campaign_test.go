@@ -1,0 +1,204 @@
+package campaign
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dnstime/internal/core"
+	"dnstime/internal/ntpclient"
+)
+
+func TestRunBootTimeAggregate(t *testing.T) {
+	agg, err := Run(Spec{
+		Kind:    BootTime,
+		Profile: ntpclient.ProfileNTPd,
+		Seeds:   8,
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 8 {
+		t.Fatalf("runs = %d, want 8", agg.Runs)
+	}
+	if agg.Errors != 0 {
+		t.Fatalf("errors = %d: %+v", agg.Errors, agg.PerRun)
+	}
+	if agg.Successes != 8 {
+		t.Errorf("successes = %d, want 8 (ntpd boot-time attack is deterministic)", agg.Successes)
+	}
+	if agg.SuccessRate != 100 {
+		t.Errorf("success rate = %v, want 100", agg.SuccessRate)
+	}
+	if agg.SuccessCI.Lo <= 0 || agg.SuccessCI.Hi != 100 {
+		t.Errorf("Wilson CI = %+v, want (0,100]", agg.SuccessCI)
+	}
+	if agg.MeanTTS <= 0 || agg.P95TTS < agg.MedianTTS {
+		t.Errorf("bad time-to-shift stats: mean=%v median=%v p95=%v",
+			agg.MeanTTS, agg.MedianTTS, agg.P95TTS)
+	}
+	for i, r := range agg.PerRun {
+		if r.Seed != int64(1+i) {
+			t.Fatalf("PerRun[%d].Seed = %d, want %d (seed order)", i, r.Seed, 1+i)
+		}
+		if r.ClockOffset > -400*time.Second || r.ClockOffset < -600*time.Second {
+			t.Errorf("seed %d: offset %v, want ≈ −500 s", r.Seed, r.ClockOffset)
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers is the engine's core contract: the same
+// seeds produce byte-identical aggregates at any worker count.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	spec := Spec{
+		Kind:    BootTime,
+		Profile: ntpclient.ProfileChrony,
+		Seeds:   16,
+		Lab:     core.LabConfig{EvilOffset: -300 * time.Second},
+	}
+	marshal := func(workers int) string {
+		s := spec
+		s.Workers = workers
+		agg, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	serial := marshal(1)
+	for _, w := range []int{2, 8} {
+		if got := marshal(w); got != serial {
+			t.Errorf("workers=%d output differs from workers=1:\n%s\nvs\n%s", w, got, serial)
+		}
+	}
+}
+
+// TestTableIDeterministicAcrossWorkers is the acceptance criterion: a
+// 64-seed Table I campaign is byte-identical at -workers 1 and -workers 8.
+func TestTableIDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-seed campaign in -short mode")
+	}
+	marshal := func(workers int) string {
+		rows, err := TableI(TableIOptions{Seeds: 64, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	serial := marshal(1)
+	if parallel := marshal(8); parallel != serial {
+		t.Fatalf("workers=8 output differs from workers=1")
+	}
+}
+
+func TestTableIRows(t *testing.T) {
+	rows, err := TableI(TableIOptions{Seeds: 4, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := ntpclient.AllProfiles()
+	if len(rows) != len(profiles) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(profiles))
+	}
+	for i, row := range rows {
+		if row.Client != profiles[i].Profile.Name {
+			t.Errorf("row %d client = %q, want %q (paper order)", i, row.Client, profiles[i].Profile.Name)
+		}
+		if row.Boot.Runs != 4 {
+			t.Errorf("%s: boot runs = %d, want 4", row.Client, row.Boot.Runs)
+		}
+	}
+	// The paper's Table I: all seven clients are boot-time vulnerable,
+	// four support run-time DNS lookups.
+	boot, run := 0, 0
+	for _, row := range rows {
+		if row.Boot.Successes == row.Boot.Runs {
+			boot++
+		}
+		if row.RunTime == core.Yes.String() {
+			run++
+		}
+	}
+	if boot != 7 {
+		t.Errorf("boot-vulnerable clients = %d, want 7", boot)
+	}
+	if run != 4 {
+		t.Errorf("runtime-vulnerable clients = %d, want 4", run)
+	}
+}
+
+func TestRunChronosCampaign(t *testing.T) {
+	agg, err := Run(Spec{Kind: Chronos, ChronosN: 5, Seeds: 3, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Errors != 0 {
+		t.Fatalf("errors = %d: %+v", agg.Errors, agg.PerRun)
+	}
+	// N=5 ≤ bound 11: poisoning lands early enough, every seed shifts.
+	if agg.Successes != agg.Runs {
+		t.Errorf("successes = %d/%d, want all", agg.Successes, agg.Runs)
+	}
+	// Chronos has no time-to-shift metric; the aggregate must not invent
+	// one from zero values.
+	if agg.TTSRuns != 0 {
+		t.Errorf("TTSRuns = %d, want 0 for chronos", agg.TTSRuns)
+	}
+	if strings.Contains(agg.String(), "time-to-shift") {
+		t.Errorf("chronos aggregate renders a time-to-shift: %s", agg)
+	}
+}
+
+func TestRunProgressReporting(t *testing.T) {
+	var mu sync.Mutex
+	var dones []int
+	agg, err := Run(Spec{
+		Kind:    BootTime,
+		Profile: ntpclient.ProfileNtpdate,
+		Seeds:   6,
+		Workers: 3,
+		Progress: func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if total != 6 {
+				t.Errorf("total = %d, want 6", total)
+			}
+			dones = append(dones, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 6 {
+		t.Fatalf("runs = %d", agg.Runs)
+	}
+	if len(dones) != 6 {
+		t.Fatalf("progress calls = %d, want 6", len(dones))
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("progress counts = %v, want 1..6 in order", dones)
+		}
+	}
+}
+
+func TestRunBadSpec(t *testing.T) {
+	if _, err := Run(Spec{}); err == nil {
+		t.Error("Run(Spec{}) succeeded, want ErrBadSpec")
+	}
+	if _, err := Run(Spec{Kind: BootTime}); err == nil {
+		t.Error("boot-time campaign without profile succeeded, want ErrBadSpec")
+	}
+}

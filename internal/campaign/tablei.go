@@ -1,0 +1,85 @@
+package campaign
+
+import (
+	"dnstime/internal/core"
+	"dnstime/internal/ntpclient"
+)
+
+// TableIRow is one aggregated Table I row: the paper's per-client
+// applicability cells plus boot-time success statistics over the whole
+// seed range.
+type TableIRow struct {
+	Client   string  `json:"client"`
+	UsagePct float64 `json:"usage_pct"`
+	// RunTime is the paper's run-time applicability cell (from the
+	// profile's DNS-lookup behaviour, as in core.TableI).
+	RunTime string `json:"run_time"`
+	// Boot aggregates the boot-time attack across all seeds.
+	Boot Aggregate `json:"boot"`
+}
+
+// TableIOptions sizes a Table I campaign.
+type TableIOptions struct {
+	// Lab is the LabConfig template; Seed is overwritten per run.
+	Lab core.LabConfig
+	// Seeds per profile (default 16); run i of every profile uses seed
+	// BaseSeed+i.
+	Seeds    int
+	BaseSeed int64
+	// Workers caps concurrency across the whole profile×seed job matrix
+	// (default GOMAXPROCS).
+	Workers int
+	// Progress, if set, receives completion counts over all jobs.
+	Progress func(done, total int)
+}
+
+// TableI fans the boot-time attack out over every client profile and
+// TableIOptions.Seeds seeds on one shared worker pool, returning one
+// aggregated row per profile in the paper's profile order. Output is
+// independent of the worker count.
+func TableI(opts TableIOptions) ([]TableIRow, error) {
+	if opts.Seeds <= 0 {
+		opts.Seeds = 16
+	}
+	if opts.BaseSeed == 0 {
+		opts.BaseSeed = 1
+	}
+	profiles := ntpclient.AllProfiles()
+	specs := make([]Spec, len(profiles))
+	for p, pu := range profiles {
+		specs[p] = Spec{
+			Kind:     BootTime,
+			Profile:  pu.Profile,
+			Lab:      opts.Lab,
+			Seeds:    opts.Seeds,
+			BaseSeed: opts.BaseSeed,
+			Workers:  opts.Workers,
+		}
+		if err := specs[p].applyDefaults(); err != nil {
+			return nil, err
+		}
+	}
+
+	// One flat job matrix so a slow profile cannot serialise the pool.
+	results := make([][]Result, len(profiles))
+	for p := range results {
+		results[p] = make([]Result, opts.Seeds)
+	}
+	workers := specs[0].Workers
+	runPool(len(profiles)*opts.Seeds, workers, opts.Progress, func(j int) {
+		p, i := j/opts.Seeds, j%opts.Seeds
+		results[p][i] = runOne(&specs[p], opts.BaseSeed+int64(i))
+	})
+
+	rows := make([]TableIRow, len(profiles))
+	for p, pu := range profiles {
+		row := TableIRow{
+			Client:   pu.Profile.Name,
+			UsagePct: pu.UsagePct,
+			RunTime:  core.RuntimeApplicability(pu.Profile).String(),
+		}
+		row.Boot = fold(specs[p].Label(), results[p], BootTime)
+		rows[p] = row
+	}
+	return rows, nil
+}

@@ -212,10 +212,23 @@ type TableIRow struct {
 	RunTime  Applicability
 }
 
+// RuntimeApplicability classifies a profile's run-time attack cell from
+// its DNS-lookup behaviour (as in the paper's source-code analysis).
+func RuntimeApplicability(prof ntpclient.Profile) Applicability {
+	switch {
+	case prof.OneShot:
+		return NotApplicable
+	case prof.RuntimeLookup:
+		return Yes
+	default:
+		return No
+	}
+}
+
 // TableI evaluates boot-time and run-time attacks against every client
 // profile, reproducing Table I. Boot-time cells come from live attack runs;
-// run-time cells come from the profile's DNS-lookup behaviour (as in the
-// paper's source-code analysis) cross-checked by live runs in the tests.
+// run-time cells come from RuntimeApplicability cross-checked by live runs
+// in the tests.
 func TableI(cfg LabConfig) ([]TableIRow, error) {
 	var rows []TableIRow
 	for _, pu := range ntpclient.AllProfiles() {
@@ -227,14 +240,7 @@ func TableI(cfg LabConfig) ([]TableIRow, error) {
 		if boot.Shifted {
 			row.BootTime = Yes
 		}
-		switch {
-		case pu.Profile.OneShot:
-			row.RunTime = NotApplicable
-		case pu.Profile.RuntimeLookup:
-			row.RunTime = Yes
-		default:
-			row.RunTime = No
-		}
+		row.RunTime = RuntimeApplicability(pu.Profile)
 		rows = append(rows, row)
 	}
 	return rows, nil

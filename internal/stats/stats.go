@@ -153,6 +153,74 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// Stddev returns the sample standard deviation (n−1 denominator).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// PercentileOf returns the p-th percentile (p in [0,100]) of xs by linear
+// interpolation, without mutating xs.
+func PercentileOf(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var c CDF
+	for _, x := range xs {
+		c.Add(x)
+	}
+	return c.Percentile(p)
+}
+
+// Interval is a two-sided 95% confidence interval.
+type Interval struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// z95 is the normal quantile for two-sided 95% intervals.
+const z95 = 1.959963984540054
+
+// Wilson returns the 95% Wilson score interval for a binomial proportion
+// with the given success count out of n trials, as fractions in [0,1].
+// With n = 0 the interval is [0,1] (no information).
+func Wilson(successes, n int) Interval {
+	if n <= 0 {
+		return Interval{0, 1}
+	}
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	z2 := z95 * z95
+	denom := 1 + z2/nf
+	centre := p + z2/(2*nf)
+	spread := z95 * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo := (centre - spread) / denom
+	hi := (centre + spread) / denom
+	return Interval{math.Max(0, lo), math.Min(1, hi)}
+}
+
+// MeanCI returns the 95% normal-approximation confidence interval for the
+// mean of xs. With fewer than two samples it collapses to the point value.
+func MeanCI(xs []float64) Interval {
+	if len(xs) == 0 {
+		return Interval{math.NaN(), math.NaN()}
+	}
+	m := Mean(xs)
+	if len(xs) < 2 {
+		return Interval{m, m}
+	}
+	se := Stddev(xs) / math.Sqrt(float64(len(xs)))
+	return Interval{m - z95*se, m + z95*se}
+}
+
 // Median returns the sample median.
 func Median(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -176,3 +176,75 @@ func TestPropertyHistogramTotal(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestStddev(t *testing.T) {
+	if got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("Stddev = %v, want ≈2.138", got)
+	}
+	if got := Stddev([]float64{42}); got != 0 {
+		t.Errorf("Stddev of one sample = %v, want 0", got)
+	}
+}
+
+func TestPercentileOf(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := PercentileOf(xs, 50); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	if got := PercentileOf(xs, 100); got != 5 {
+		t.Errorf("p100 = %v, want 5", got)
+	}
+	if xs[0] != 5 {
+		t.Error("PercentileOf mutated its input")
+	}
+	if !math.IsNaN(PercentileOf(nil, 50)) {
+		t.Error("PercentileOf(nil) is not NaN")
+	}
+}
+
+func TestWilson(t *testing.T) {
+	// 8/10 successes: the 95% Wilson interval is ≈ [0.490, 0.943].
+	ci := Wilson(8, 10)
+	if math.Abs(ci.Lo-0.490) > 0.005 || math.Abs(ci.Hi-0.943) > 0.005 {
+		t.Errorf("Wilson(8,10) = %+v, want ≈[0.490, 0.943]", ci)
+	}
+	// Degenerate cases stay inside [0,1] and keep uncertainty.
+	if ci := Wilson(0, 20); ci.Lo != 0 || ci.Hi <= 0 || ci.Hi > 1 {
+		t.Errorf("Wilson(0,20) = %+v", ci)
+	}
+	if ci := Wilson(20, 20); ci.Hi != 1 || ci.Lo >= 1 || ci.Lo < 0 {
+		t.Errorf("Wilson(20,20) = %+v", ci)
+	}
+	if ci := Wilson(0, 0); ci.Lo != 0 || ci.Hi != 1 {
+		t.Errorf("Wilson(0,0) = %+v, want [0,1]", ci)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := []float64{10, 12, 8, 11, 9}
+	ci := MeanCI(xs)
+	m := Mean(xs)
+	if !(ci.Lo < m && m < ci.Hi) {
+		t.Errorf("MeanCI = %+v does not bracket mean %v", ci, m)
+	}
+	if ci := MeanCI([]float64{7}); ci.Lo != 7 || ci.Hi != 7 {
+		t.Errorf("MeanCI of one sample = %+v, want point interval", ci)
+	}
+}
+
+// Property: the Wilson interval always brackets the point estimate.
+func TestPropertyWilsonBrackets(t *testing.T) {
+	f := func(s, n uint8) bool {
+		k, m := int(s), int(n)
+		if m == 0 {
+			m = 1
+		}
+		k %= m + 1
+		ci := Wilson(k, m)
+		p := float64(k) / float64(m)
+		return ci.Lo >= 0 && ci.Hi <= 1 && ci.Lo <= p && p <= ci.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
