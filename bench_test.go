@@ -2,6 +2,9 @@
 // (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
 // paper-vs-measured values). Each benchmark reports the headline numbers as
 // custom metrics so `go test -bench` output doubles as the results table.
+// The measurement benchmarks run through the scenario registry
+// (dnstime.RunScenario), exercising the same entry points as
+// `experiments campaigns`.
 package dnstime_test
 
 import (
@@ -80,6 +83,27 @@ func BenchmarkCampaignRuntime(b *testing.B) {
 	b.ReportMetric(float64(b.N*campaignSeeds)/b.Elapsed().Seconds(), "runs/sec")
 }
 
+// BenchmarkCampaignAllScenarios fans every registered scenario out across
+// 4 seeds each (fast populations) — the whole-registry campaign smoke run
+// CI executes at -benchtime 1x so no scenario can rot out of the engine.
+func BenchmarkCampaignAllScenarios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, sc := range dnstime.Scenarios() {
+			agg, err := dnstime.RunScenarioCampaign(sc.Name, dnstime.ScenarioCampaignOptions{
+				Seeds: 4,
+				Fast:  true,
+			})
+			if err != nil {
+				b.Fatalf("%s: %v", sc.Name, err)
+			}
+			if agg.Errors > 0 {
+				b.Fatalf("%s: %d errored runs", sc.Name, agg.Errors)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(dnstime.Scenarios())), "scenarios")
+}
+
 // BenchmarkTableIClientMatrix regenerates Table I: boot-time attack runs
 // against all seven client profiles plus the run-time applicability
 // classification.
@@ -131,124 +155,116 @@ func BenchmarkTableIIIProbabilities(b *testing.B) {
 	}
 }
 
+// scenarioMetric runs a registered scenario once and returns its metric
+// map. The run seed offsets match what the pre-registry benchmarks used,
+// except Figure 6, which now deliberately reads TTLs from the same
+// population as table4 (200k resolvers at seed+11; it used to draw its
+// own 100k population at seed+12).
+func scenarioMetric(b *testing.B, name string, seed int64) dnstime.ScenarioResult {
+	b.Helper()
+	res, err := dnstime.RunScenario(name, seed, dnstime.ScenarioConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
 // BenchmarkTableIVResolverCache regenerates Table IV: RD=0 cache snooping
-// over the open-resolver population.
+// over the open-resolver population, via the table4 scenario.
 func BenchmarkTableIVResolverCache(b *testing.B) {
-	cfg := dnstime.DefaultOpenResolverConfig()
 	for i := 0; i < b.N; i++ {
-		specs := dnstime.GenerateOpenResolvers(cfg, int64(i)+11)
-		res := dnstime.CacheSnoop(specs)
-		b.ReportMetric(res.Rows[1].CachedPct, "poolA-cached-pct") // paper: 69.41
-		b.ReportMetric(float64(res.Verified), "verified")
+		res := scenarioMetric(b, "table4", int64(i))
+		b.ReportMetric(res.Metrics["cached_pct/pool.ntp.org IN A"], "poolA-cached-pct") // paper: 69.41
+		b.ReportMetric(res.Metrics["verified"], "verified")
 	}
 }
 
-// BenchmarkTableVAdStudy regenerates Table V: the ad-network client study.
+// BenchmarkTableVAdStudy regenerates Table V: the ad-network client study,
+// via the table5 scenario.
 func BenchmarkTableVAdStudy(b *testing.B) {
-	cfg := dnstime.DefaultAdStudyConfig()
 	for i := 0; i < b.N; i++ {
-		clients := dnstime.GenerateAdClients(cfg, int64(i)+9)
-		res := dnstime.AdStudy(clients)
-		for _, row := range res.Rows {
-			if row.Label == "ALL" {
-				b.ReportMetric(row.TinyPct, "ALL-tiny-pct") // paper: 64.00
-				b.ReportMetric(row.AnyPct, "ALL-any-pct")   // paper: 90.99
-			}
-		}
-		b.ReportMetric(res.DNSSECMinPct, "dnssec-min-pct") // paper: 19.14
-		b.ReportMetric(res.DNSSECMaxPct, "dnssec-max-pct") // paper: 28.94
+		res := scenarioMetric(b, "table5", int64(i))
+		b.ReportMetric(res.Metrics["tiny_pct/ALL"], "ALL-tiny-pct")     // paper: 64.00
+		b.ReportMetric(res.Metrics["any_pct/ALL"], "ALL-any-pct")       // paper: 90.99
+		b.ReportMetric(res.Metrics["dnssec_min_pct"], "dnssec-min-pct") // paper: 19.14
+		b.ReportMetric(res.Metrics["dnssec_max_pct"], "dnssec-max-pct") // paper: 28.94
 	}
 }
 
 // BenchmarkFigure5FragmentCDF regenerates Figure 5: the CDF of minimum
-// fragment sizes over the popular-domain nameserver population.
+// fragment sizes over the popular-domain nameserver population, via the
+// fig5 scenario.
 func BenchmarkFigure5FragmentCDF(b *testing.B) {
-	cfg := dnstime.DefaultDomainNameserverConfig()
 	for i := 0; i < b.N; i++ {
-		specs := dnstime.GenerateDomainNameservers(cfg, int64(i)+5)
-		res := dnstime.FragScan(specs, nil)
-		b.ReportMetric(100*res.CumAt(292), "cdf-292-pct")          // paper: 7.05
-		b.ReportMetric(100*res.CumAt(548), "cdf-548-pct")          // paper: 83.2
-		b.ReportMetric(res.FragNoDNSSECPct(), "frag-nodnssec-pct") // paper: 7.66
+		res := scenarioMetric(b, "fig5", int64(i))
+		b.ReportMetric(res.Metrics["cdf_pct/292B"], "cdf-292-pct")            // paper: 7.05
+		b.ReportMetric(res.Metrics["cdf_pct/548B"], "cdf-548-pct")            // paper: 83.2
+		b.ReportMetric(res.Metrics["frag_nodnssec_pct"], "frag-nodnssec-pct") // paper: 7.66
 	}
 }
 
 // BenchmarkFigure6TTLDistribution regenerates Figure 6: remaining TTLs of
-// cached pool records (uniform on [0,150]).
+// cached pool records (uniform on [0,150]), via the fig6 scenario.
 func BenchmarkFigure6TTLDistribution(b *testing.B) {
-	cfg := dnstime.DefaultOpenResolverConfig()
-	cfg.Total = 100000
 	for i := 0; i < b.N; i++ {
-		res := dnstime.CacheSnoop(dnstime.GenerateOpenResolvers(cfg, int64(i)+12))
-		h := res.TTLHistogram()
-		b.ReportMetric(float64(h.Total()), "ttl-samples")
-		b.ReportMetric(float64(h.Bin(0)), "bin0")
-		b.ReportMetric(float64(h.Bin(14)), "bin14")
+		res := scenarioMetric(b, "fig6", int64(i))
+		b.ReportMetric(res.Metrics["ttl_samples"], "ttl-samples")
+		b.ReportMetric(res.Metrics["ttl_mean_s"], "ttl-mean-s")     // uniform on [0,150] → ≈75
+		b.ReportMetric(res.Metrics["ttl_median_s"], "ttl-median-s") // ≈75
 	}
 }
 
 // BenchmarkFigure7TimingSideChannel regenerates Figure 7: the t_first−t_avg
-// latency-difference distribution and its lack of a clean threshold.
+// latency-difference distribution and its lack of a clean threshold, via
+// the fig7 scenario.
 func BenchmarkFigure7TimingSideChannel(b *testing.B) {
-	cfg := dnstime.DefaultTimingProbeConfig()
 	for i := 0; i < b.N; i++ {
-		res := dnstime.TimingSideChannel(cfg, int64(i)+17)
-		h := res.Histogram()
-		b.ReportMetric(float64(h.Total()), "samples")
-		b.ReportMetric(float64(h.Under()+h.Over()), "clamped-tails")
+		res := scenarioMetric(b, "fig7", int64(i))
+		b.ReportMetric(res.Metrics["samples"], "samples")
+		b.ReportMetric(res.Metrics["clamped_under"]+res.Metrics["clamped_over"], "clamped-tails")
 	}
 }
 
 // BenchmarkRateLimitScan regenerates §VII-A: the live 2432-server pool scan
-// (33% KoD, 38% stop responding).
+// (33% KoD, 38% stop responding), via the ratelimit scenario.
 func BenchmarkRateLimitScan(b *testing.B) {
-	cfg := dnstime.DefaultPoolConfig()
 	for i := 0; i < b.N; i++ {
-		specs := dnstime.GeneratePool(cfg, int64(i)+42)
-		res, err := dnstime.RateLimitScan(specs, dnstime.DefaultScanConfig(), int64(i)+42)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(res.RateLimitedPct(), "ratelimited-pct") // paper: 38
-		b.ReportMetric(res.KoDPct(), "kod-pct")                 // paper: 33
+		res := scenarioMetric(b, "ratelimit", int64(i))
+		b.ReportMetric(res.Metrics["rate_limited_pct"], "ratelimited-pct") // paper: 38
+		b.ReportMetric(res.Metrics["kod_pct"], "kod-pct")                  // paper: 33
 	}
 }
 
 // BenchmarkNameserverFragScan regenerates §VII-B: 16/30 pool nameservers
-// fragment below 548 B, none signed.
+// fragment below 548 B, none signed, via the nsfrag scenario.
 func BenchmarkNameserverFragScan(b *testing.B) {
-	cfg := dnstime.DefaultPoolNameserverConfig()
 	for i := 0; i < b.N; i++ {
-		specs := dnstime.GeneratePoolNameservers(cfg, int64(i)+3)
-		res := dnstime.FragScan(specs, nil)
-		b.ReportMetric(float64(res.FragBelow548), "frag-below-548") // paper: 16
-		b.ReportMetric(float64(res.DNSSEC), "dnssec")               // paper: 0
+		res := scenarioMetric(b, "nsfrag", int64(i))
+		b.ReportMetric(res.Metrics["frag_below_548"], "frag-below-548") // paper: 16
+		b.ReportMetric(res.Metrics["dnssec"], "dnssec")                 // paper: 0
 	}
 }
 
 // BenchmarkSharedResolverStudy regenerates §VIII-B3: the 13.8% of web-client
-// resolvers whose queries the attacker can trigger.
+// resolvers whose queries the attacker can trigger, via the shared
+// scenario.
 func BenchmarkSharedResolverStudy(b *testing.B) {
-	cfg := dnstime.DefaultSharedResolverConfig()
 	for i := 0; i < b.N; i++ {
-		res := dnstime.SharedResolverStudy(dnstime.GenerateSharedResolvers(cfg, int64(i)+21))
-		b.ReportMetric(res.TriggerablePct(), "triggerable-pct") // paper: 13.8
+		res := scenarioMetric(b, "shared", int64(i))
+		b.ReportMetric(res.Metrics["triggerable_pct"], "triggerable-pct") // paper: 13.8
 	}
 }
 
 // BenchmarkChronosAttackBound regenerates §VI-C: the N ≤ 11 bound and a full
-// pool-generation poisoning run.
+// pool-generation poisoning run, via the chronos scenario.
 func BenchmarkChronosAttackBound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if n := dnstime.ChronosAttackBound(4, 89); n != 11 {
 			b.Fatalf("bound = %d", n)
 		}
-		res, err := dnstime.RunChronosAttack(5, 89, dnstime.LabConfig{Seed: int64(i) + 9})
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(float64(res.PoolSize), "pool-size")
-		b.ReportMetric(boolMetric(res.Shifted), "shifted")
+		res := scenarioMetric(b, "chronos", int64(i)+9)
+		b.ReportMetric(res.Metrics["pool_size"], "pool-size")
+		b.ReportMetric(boolMetric(res.Success != nil && *res.Success), "shifted")
 	}
 }
 

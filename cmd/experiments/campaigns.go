@@ -12,137 +12,106 @@ import (
 	"dnstime/internal/stats"
 )
 
-// campaignOutput is the -json document: one Table I campaign plus any
-// single-spec campaigns, in a fixed order.
+// campaignOutput is the -json document: one aggregate per selected
+// scenario, in registry (paper) order.
 type campaignOutput struct {
-	Seeds    int                         `json:"seeds"`
-	BaseSeed int64                       `json:"base_seed"`
-	TableI   []dnstime.CampaignTableIRow `json:"table1,omitempty"`
-	Attacks  []dnstime.CampaignAggregate `json:"attacks,omitempty"`
+	Seeds     int                         `json:"seeds"`
+	BaseSeed  int64                       `json:"base_seed"`
+	Fast      bool                        `json:"fast,omitempty"`
+	Scenarios []dnstime.ScenarioAggregate `json:"scenarios"`
 }
 
-// runCampaigns is the campaigns subcommand: fan the selected experiments
-// out across many seeds and print aggregates to w.
-func runCampaigns(argv []string, w io.Writer) error {
+// campaignConfig holds the parsed campaigns-subcommand flags.
+type campaignConfig struct {
+	seeds    int
+	workers  int
+	baseSeed int64
+	jsonOut  bool
+	only     string
+	fast     bool
+	perRun   bool
+	quiet    bool
+}
+
+// campaignFlagSet declares the campaigns flag surface on a fresh FlagSet.
+// The README command checker parses documented commands against the same
+// set, so the docs cannot name flags the CLI does not have.
+func campaignFlagSet(cfg *campaignConfig) *flag.FlagSet {
 	fs := flag.NewFlagSet("campaigns", flag.ContinueOnError)
-	seeds := fs.Int("seeds", 64, "independent seeds per experiment")
-	workers := fs.Int("workers", 0, "concurrent workers (0 = GOMAXPROCS)")
-	baseSeed := fs.Int64("seed", 1, "first seed; run i uses seed+i")
-	jsonOut := fs.Bool("json", false, "emit aggregates as JSON")
-	only := fs.String("only", "", "comma-separated subset: table1,boot,runtime,chronos")
-	clientName := fs.String("client", "ntpd", "client profile for boot/runtime campaigns")
-	scenario := fs.String("scenario", "p1", "run-time scenario: p1 (upstreams known) or p2 (RefID discovery)")
-	perRun := fs.Bool("perrun", false, "include per-seed results in -json output")
-	quiet := fs.Bool("q", false, "suppress progress reporting on stderr")
+	fs.IntVar(&cfg.seeds, "seeds", 64, "independent seeds per scenario")
+	fs.IntVar(&cfg.workers, "workers", 0, "concurrent workers (0 = GOMAXPROCS)")
+	fs.Int64Var(&cfg.baseSeed, "seed", 1, "first seed; run i uses seed+i")
+	fs.BoolVar(&cfg.jsonOut, "json", false, "emit aggregates as JSON")
+	fs.StringVar(&cfg.only, "only", "", "comma-separated scenario subset (default: all; see `experiments scenarios`)")
+	fs.BoolVar(&cfg.fast, "fast", false, "shrink the slowest scenarios' populations")
+	fs.BoolVar(&cfg.perRun, "perrun", false, "include per-seed results in -json output")
+	fs.BoolVar(&cfg.quiet, "q", false, "suppress progress reporting on stderr")
+	return fs
+}
+
+// runCampaigns is the campaigns subcommand: fan the selected registered
+// scenarios out across many seeds and print aggregates to w.
+func runCampaigns(argv []string, w io.Writer) error {
+	var cfg campaignConfig
+	fs := campaignFlagSet(&cfg)
 	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
 		return err
 	}
-	// The engine would silently default a non-positive count, leaving the
-	// echoed seed count out of step with the runs actually executed.
-	if *seeds <= 0 {
-		return fmt.Errorf("-seeds must be positive (got %d)", *seeds)
+	// A stray positional argument is almost always a forgotten -only; if
+	// ignored, the CLI would silently run the entire registry.
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (scenarios are selected with -only name,...)", fs.Arg(0))
 	}
-	want := func(name string) bool {
-		if *only == "" {
-			return true
-		}
-		for _, s := range strings.Split(*only, ",") {
-			if strings.TrimSpace(s) == name {
-				return true
-			}
-		}
-		return false
+	// The engine would silently default a non-positive count (and a zero
+	// base seed), leaving the echoed values out of step with the runs
+	// actually executed.
+	if cfg.seeds <= 0 {
+		return fmt.Errorf("-seeds must be positive (got %d)", cfg.seeds)
 	}
-	prof, err := profileByName(*clientName)
+	if cfg.baseSeed == 0 {
+		return fmt.Errorf("-seed must be non-zero (0 selects the engine default of 1)")
+	}
+	names, err := selectScenarios(cfg.only)
 	if err != nil {
 		return err
 	}
-	scen := dnstime.ScenarioP1
-	if strings.EqualFold(*scenario, "p2") {
-		scen = dnstime.ScenarioP2
-	}
-	progress := func(label string) func(done, total int) {
-		if *quiet {
-			return nil
+
+	out := campaignOutput{Seeds: cfg.seeds, BaseSeed: cfg.baseSeed, Fast: cfg.fast}
+	for _, name := range names {
+		opts := dnstime.ScenarioCampaignOptions{
+			Seeds:    cfg.seeds,
+			BaseSeed: cfg.baseSeed,
+			Workers:  cfg.workers,
+			Fast:     cfg.fast,
 		}
-		return func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%-28s %d/%d runs", label, done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
+		if !cfg.quiet {
+			label := name
+			opts.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "\r%-16s %d/%d runs", label, done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
 			}
 		}
-	}
-	out := campaignOutput{Seeds: *seeds, BaseSeed: *baseSeed}
-	trim := func(agg dnstime.CampaignAggregate) dnstime.CampaignAggregate {
-		if !*perRun {
+		agg, err := dnstime.RunScenarioCampaign(name, opts)
+		if err != nil {
+			return err
+		}
+		if !cfg.perRun {
 			agg.PerRun = nil
 		}
-		return agg
-	}
-
-	if want("table1") {
-		rows, err := dnstime.CampaignTableI(dnstime.CampaignTableIOptions{
-			Seeds:    *seeds,
-			BaseSeed: *baseSeed,
-			Workers:  *workers,
-			Progress: progress("table1 (boot × 7 clients)"),
-		})
-		if err != nil {
-			return err
-		}
-		for i := range rows {
-			rows[i].Boot = trim(rows[i].Boot)
-		}
-		out.TableI = rows
-		if !*jsonOut {
-			fmt.Fprintf(w, "== Table I campaign: boot-time attack, %d seeds per client ==\n", *seeds)
-			t := stats.NewTable("Client", "run-time", "boot success %", "95% CI", "mean TTS", "p95 TTS")
-			for _, r := range rows {
-				t.AddRow(r.Client, r.RunTime,
-					fmt.Sprintf("%.1f (%d/%d)", r.Boot.SuccessRate, r.Boot.Successes, r.Boot.Runs),
-					fmt.Sprintf("%.1f–%.1f", r.Boot.SuccessCI.Lo, r.Boot.SuccessCI.Hi),
-					fmt.Sprintf("%.0fs", r.Boot.MeanTTS),
-					fmt.Sprintf("%.0fs", r.Boot.P95TTS))
-			}
-			fmt.Fprintln(w, t)
+		if cfg.jsonOut {
+			out.Scenarios = append(out.Scenarios, agg)
+		} else {
+			fmt.Fprintf(w, "== campaign %s (%s): %d seeds ==\n", agg.Scenario, agg.PaperRef, cfg.seeds)
+			fmt.Fprintln(w, agg.Render())
 		}
 	}
 
-	specs := []struct {
-		name string
-		spec dnstime.CampaignSpec
-	}{
-		{"boot", dnstime.CampaignSpec{Kind: dnstime.CampaignBootTime, Profile: prof}},
-		{"runtime", dnstime.CampaignSpec{Kind: dnstime.CampaignRuntime, Profile: prof, Scenario: scen}},
-		// ChronosN/ChronosSpoofed are Run's defaults, set here so the
-		// progress label (computed before Run) matches the aggregate's.
-		{"chronos", dnstime.CampaignSpec{Kind: dnstime.CampaignChronos, ChronosN: 5, ChronosSpoofed: 89}},
-	}
-	for _, s := range specs {
-		if !want(s.name) {
-			continue
-		}
-		// The bare "boot" campaign duplicates one table1 column; only run
-		// it when requested explicitly.
-		if s.name == "boot" && *only == "" {
-			continue
-		}
-		spec := s.spec
-		spec.Seeds = *seeds
-		spec.BaseSeed = *baseSeed
-		spec.Workers = *workers
-		spec.Progress = progress(spec.Label())
-		agg, err := dnstime.RunCampaign(spec)
-		if err != nil {
-			return err
-		}
-		out.Attacks = append(out.Attacks, trim(agg))
-		if !*jsonOut {
-			fmt.Fprintln(w, agg)
-		}
-	}
-
-	if *jsonOut {
+	if cfg.jsonOut {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
@@ -150,24 +119,67 @@ func runCampaigns(argv []string, w io.Writer) error {
 	return nil
 }
 
-// profileByName maps a CLI name to a client profile.
-func profileByName(name string) (dnstime.Profile, error) {
-	switch strings.ToLower(name) {
-	case "ntpd":
-		return dnstime.ProfileNTPd, nil
-	case "chrony":
-		return dnstime.ProfileChrony, nil
-	case "openntpd":
-		return dnstime.ProfileOpenNTPD, nil
-	case "ntpdate":
-		return dnstime.ProfileNtpdate, nil
-	case "android":
-		return dnstime.ProfileAndroid, nil
-	case "ntpclient":
-		return dnstime.ProfileNtpclient, nil
-	case "systemd":
-		return dnstime.ProfileSystemd, nil
-	default:
-		return dnstime.Profile{}, fmt.Errorf("unknown client %q (want ntpd, chrony, openntpd, ntpdate, android, ntpclient, systemd)", name)
+// selectScenarios resolves a -only list against the registry (paper order,
+// every name validated); an empty list selects every registered scenario.
+func selectScenarios(only string) ([]string, error) {
+	all := dnstime.ScenarioNames()
+	if strings.TrimSpace(only) == "" {
+		return all, nil
 	}
+	registered := make(map[string]bool, len(all))
+	for _, name := range all {
+		registered[name] = true
+	}
+	want := make(map[string]bool)
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !registered[name] {
+			return nil, fmt.Errorf("unknown scenario %q (have: %s)", name, strings.Join(all, ", "))
+		}
+		want[name] = true
+	}
+	var names []string
+	for _, name := range all {
+		if want[name] {
+			names = append(names, name)
+		}
+	}
+	return names, nil
+}
+
+// scenariosFlagSet declares the scenarios-subcommand flag surface.
+func scenariosFlagSet(markdown *bool) *flag.FlagSet {
+	fs := flag.NewFlagSet("scenarios", flag.ContinueOnError)
+	fs.BoolVar(markdown, "markdown", false, "emit the DESIGN.md §4 experiment index")
+	return fs
+}
+
+// runScenarios is the scenarios subcommand: list the registry, or emit the
+// DESIGN.md §4 experiment index with -markdown.
+func runScenarios(argv []string, w io.Writer) error {
+	var markdown bool
+	fs := scenariosFlagSet(&markdown)
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if markdown {
+		fmt.Fprint(w, dnstime.ScenarioIndexMarkdown())
+		return nil
+	}
+	t := stats.NewTable("Name", "Experiment", "Paper", "Parameters", "Single-run CLI")
+	for _, s := range dnstime.Scenarios() {
+		t.AddRow(s.Name, s.Title, s.PaperRef, s.ParamString(), s.CLI)
+	}
+	fmt.Fprintln(w, t)
+	fmt.Fprintln(w, "Run any scenario as a multi-seed campaign: experiments campaigns -only <name>")
+	return nil
 }

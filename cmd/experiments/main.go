@@ -1,18 +1,22 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation and prints them in paper-like layout, and runs parallel
-// multi-seed campaigns over the headline attacks.
+// evaluation and prints them in paper-like layout, runs parallel
+// multi-seed campaigns over any registered scenario, and lists the
+// scenario registry.
 //
 // Usage:
 //
 //	experiments [-seed N] [-fast] [-only table3,fig5,...]
-//	experiments campaigns [-seeds N] [-workers M] [-json] [-only table1,boot,runtime,chronos]
+//	experiments campaigns [-seeds N] [-workers M] [-json] [-fast] [-only boot,table4,...]
+//	experiments scenarios [-markdown]
 //
 // The default (no subcommand) is the original single-seed paper
 // reproduction; -fast skips the slowest experiments (Table II's four full
 // run-time attacks and the 2432-server rate-limit scan). The campaigns
-// subcommand fans each selected experiment out across -seeds independent
+// subcommand fans each selected scenario out across -seeds independent
 // seeds on -workers workers (default GOMAXPROCS) and prints aggregate
-// statistics; output is identical at any worker count.
+// statistics; output is identical at any worker count. The scenarios
+// subcommand lists the registry (-markdown emits the DESIGN.md §4
+// experiment index).
 package main
 
 import (
@@ -33,14 +37,37 @@ func main() {
 		}
 		return
 	}
-	seed := flag.Int64("seed", 1, "deterministic seed for all experiments")
-	fast := flag.Bool("fast", false, "skip the slowest experiments")
-	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,table5,fig5,fig6,fig7,ratelimit,nsfrag,chronos,shared")
-	flag.Parse()
-	if err := run(*seed, *fast, *only); err != nil {
+	if len(os.Args) > 1 && os.Args[1] == "scenarios" {
+		if err := runScenarios(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments scenarios:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	var seed int64
+	var fast bool
+	var only string
+	if err := experimentsFlagSet(&seed, &fast, &only).Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		os.Exit(2)
+	}
+	if err := run(seed, fast, only); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// experimentsFlagSet declares the single-seed (no subcommand) flag
+// surface. The README command checker parses documented commands against
+// the same set.
+func experimentsFlagSet(seed *int64, fast *bool, only *string) *flag.FlagSet {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.Int64Var(seed, "seed", 1, "deterministic seed for all experiments")
+	fs.BoolVar(fast, "fast", false, "skip the slowest experiments")
+	fs.StringVar(only, "only", "", "comma-separated subset: table1,table2,table3,table4,table5,fig5,fig6,fig7,ratelimit,nsfrag,chronos,shared")
+	return fs
 }
 
 func run(seed int64, fast bool, only string) error {

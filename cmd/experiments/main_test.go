@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"flag"
+	"io"
+	"os"
 	"strings"
 	"testing"
+
+	"dnstime"
 )
 
 // TestRunFastTable1 smoke-tests the single-seed path the same way the CLI
@@ -15,7 +20,8 @@ func TestRunFastTable1(t *testing.T) {
 }
 
 // TestRunCampaignsTable1 smoke-tests the campaigns subcommand and checks
-// its rendered output names every client profile.
+// its rendered output names every client profile (the table1 scenario
+// keys its metrics by client).
 func TestRunCampaignsTable1(t *testing.T) {
 	var out bytes.Buffer
 	err := runCampaigns([]string{"-seeds", "4", "-workers", "8", "-only", "table1", "-q"}, &out)
@@ -29,25 +35,58 @@ func TestRunCampaignsTable1(t *testing.T) {
 	}
 }
 
-// TestRunCampaignsDeterministicOutput: the rendered campaign output is
-// byte-identical across worker counts.
-func TestRunCampaignsDeterministicOutput(t *testing.T) {
-	render := func(workers string) string {
-		var out bytes.Buffer
-		err := runCampaigns([]string{"-seeds", "8", "-workers", workers, "-only", "table1,chronos", "-json", "-q"}, &out)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return out.String()
-	}
-	if a, b := render("1"), render("8"); a != b {
-		t.Errorf("output differs between -workers 1 and -workers 8:\n%s\nvs\n%s", a, b)
+// TestRunCampaignsDeterministicForEveryScenario is the acceptance
+// criterion at the CLI level: for every registered scenario,
+// `experiments campaigns -only <name>` emits byte-identical output
+// (including per-seed results) at -workers 1 and -workers 8.
+func TestRunCampaignsDeterministicForEveryScenario(t *testing.T) {
+	for _, name := range dnstime.ScenarioNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			render := func(workers string) string {
+				var out bytes.Buffer
+				err := runCampaigns([]string{
+					"-seeds", "2", "-fast", "-workers", workers,
+					"-only", name, "-json", "-perrun", "-q",
+				}, &out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return out.String()
+			}
+			if a, b := render("1"), render("8"); a != b {
+				t.Errorf("output differs between -workers 1 and -workers 8:\n%s\nvs\n%s", a, b)
+			}
+		})
 	}
 }
 
-func TestRunCampaignsBadClient(t *testing.T) {
-	if err := runCampaigns([]string{"-client", "sundial"}, nil); err == nil {
-		t.Error("unknown client accepted")
+// TestRunCampaignsAllScenariosByDefault: with no -only, the campaigns
+// subcommand covers the whole registry in paper order.
+func TestRunCampaignsAllScenariosByDefault(t *testing.T) {
+	names, err := selectScenarios("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := dnstime.ScenarioNames()
+	if len(names) != len(all) {
+		t.Fatalf("default selection = %v, want every registered scenario %v", names, all)
+	}
+	for i := range all {
+		if names[i] != all[i] {
+			t.Fatalf("default selection out of paper order: %v vs %v", names, all)
+		}
+	}
+}
+
+func TestRunCampaignsUnknownScenario(t *testing.T) {
+	err := runCampaigns([]string{"-only", "sundial"}, io.Discard)
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if !strings.Contains(err.Error(), "sundial") {
+		t.Errorf("error does not name the unknown scenario: %v", err)
 	}
 }
 
@@ -57,4 +96,148 @@ func TestRunCampaignsBadSeeds(t *testing.T) {
 			t.Errorf("-seeds %s accepted", seeds)
 		}
 	}
+	// -seed 0 would be silently bumped to 1 by the engine, contradicting
+	// the echoed base_seed.
+	if err := runCampaigns([]string{"-seed", "0"}, nil); err == nil {
+		t.Error("-seed 0 accepted")
+	}
+	// A positional argument is almost always a forgotten -only; silently
+	// ignoring it would run the entire registry.
+	if err := runCampaigns([]string{"table4"}, nil); err == nil {
+		t.Error("positional argument accepted")
+	}
+}
+
+// TestRunScenariosListsRegistry: the scenarios subcommand lists every
+// registered scenario by name.
+func TestRunScenariosListsRegistry(t *testing.T) {
+	var out bytes.Buffer
+	if err := runScenarios(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range dnstime.ScenarioNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("scenario listing missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestRunScenariosMarkdown: -markdown emits exactly the registry index
+// DESIGN.md embeds.
+func TestRunScenariosMarkdown(t *testing.T) {
+	var out bytes.Buffer
+	if err := runScenarios([]string{"-markdown"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != dnstime.ScenarioIndexMarkdown() {
+		t.Errorf("scenarios -markdown differs from ScenarioIndexMarkdown:\n%s", out.String())
+	}
+}
+
+// TestReadmeCommandsParse extracts every `$ ...` command from README.md's
+// code blocks and checks the experiments invocations against the real
+// flag sets (and their -only lists against the registry), so documented
+// commands cannot drift from the CLI.
+func TestReadmeCommandsParse(t *testing.T) {
+	data, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := shellCommands(string(data))
+	if len(cmds) == 0 {
+		t.Fatal("no `$ ...` commands found in README.md code blocks")
+	}
+	sawExperiments := false
+	for _, cmd := range cmds {
+		args := strings.Fields(cmd)
+		switch args[0] {
+		case "git", "cd", "ntpattack", "ntpscan", "resolverscan":
+			// Other binaries (and setup lines) are out of this checker's
+			// scope.
+		case "go":
+			if len(args) >= 3 && args[1] == "run" && strings.HasSuffix(args[2], "cmd/experiments") {
+				sawExperiments = true
+				checkExperimentsCommand(t, cmd, args[3:])
+			}
+		case "experiments":
+			sawExperiments = true
+			checkExperimentsCommand(t, cmd, args[1:])
+		default:
+			t.Errorf("README documents unknown command %q", cmd)
+		}
+	}
+	if !sawExperiments {
+		t.Error("README documents no experiments commands")
+	}
+}
+
+// checkExperimentsCommand parses one documented experiments invocation
+// with the CLI's own flag sets. Syntax summaries (lines with [optional]
+// brackets or | alternatives) are skipped — only literal commands must
+// parse.
+func checkExperimentsCommand(t *testing.T, cmd string, args []string) {
+	t.Helper()
+	if strings.ContainsAny(cmd, "[|<>") {
+		return
+	}
+	quietly := func(fs *flag.FlagSet) *flag.FlagSet {
+		fs.SetOutput(io.Discard)
+		return fs
+	}
+	var err error
+	switch {
+	case len(args) > 0 && args[0] == "campaigns":
+		var cfg campaignConfig
+		err = quietly(campaignFlagSet(&cfg)).Parse(args[1:])
+		if err == nil {
+			_, err = selectScenarios(cfg.only)
+		}
+	case len(args) > 0 && args[0] == "scenarios":
+		var markdown bool
+		err = quietly(scenariosFlagSet(&markdown)).Parse(args[1:])
+	default:
+		var seed int64
+		var fast bool
+		var only string
+		err = quietly(experimentsFlagSet(&seed, &fast, &only)).Parse(args)
+	}
+	if err != nil {
+		t.Errorf("README command %q does not parse: %v", cmd, err)
+	}
+}
+
+// shellCommands returns the `$ `-prefixed commands inside fenced code
+// blocks, with trailing-backslash continuations joined.
+func shellCommands(markdown string) []string {
+	var cmds []string
+	inFence := false
+	cont := ""
+	for _, line := range strings.Split(markdown, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			continue
+		}
+		switch {
+		case cont != "":
+			joined := cont + " " + strings.TrimSpace(strings.TrimSuffix(trimmed, "\\"))
+			if strings.HasSuffix(trimmed, "\\") {
+				cont = joined
+			} else {
+				cmds = append(cmds, joined)
+				cont = ""
+			}
+		case strings.HasPrefix(trimmed, "$ "):
+			cmd := strings.TrimPrefix(trimmed, "$ ")
+			if strings.HasSuffix(cmd, "\\") {
+				cont = strings.TrimSpace(strings.TrimSuffix(cmd, "\\"))
+			} else {
+				cmds = append(cmds, cmd)
+			}
+		}
+	}
+	return cmds
 }

@@ -14,6 +14,9 @@
 //     paper's three headline attacks end to end.
 //   - TableI / TableII / TableIII and the measurement runners regenerate
 //     every table and figure of the evaluation (see EXPERIMENTS.md).
+//   - Every experiment is also registered as a Scenario (Scenarios,
+//     RunScenario), and RunScenarioCampaign fans any of them out across
+//     many seeds with aggregate statistics (DESIGN.md §6).
 //
 // Quickstart:
 //
@@ -33,6 +36,7 @@ import (
 	"dnstime/internal/measure"
 	"dnstime/internal/ntpclient"
 	"dnstime/internal/population"
+	"dnstime/internal/scenario"
 )
 
 // Lab types: the wired attack laboratory.
@@ -92,10 +96,40 @@ const (
 	ScenarioP2 = core.ScenarioP2
 )
 
+// Scenario registry: the uniform catalogue of every experiment (DESIGN.md
+// §6). Each table, figure and scan registers a Scenario whose Run(seed,
+// cfg) returns a flat, JSON-stable metric map, so generic machinery — the
+// campaign engine, the CLI, the DESIGN.md §4 index generator — operates
+// on all of them.
+type (
+	// Scenario is one registered experiment.
+	Scenario = scenario.Scenario
+	// ScenarioResult is one seeded scenario run outcome.
+	ScenarioResult = scenario.Result
+	// ScenarioConfig tunes a run (Fast shrinks the largest populations).
+	ScenarioConfig = scenario.Config
+)
+
+// Scenario registry access.
+var (
+	// Scenarios lists every registered scenario in paper order.
+	Scenarios = scenario.All
+	// LookupScenario finds a scenario by its registry name.
+	LookupScenario = scenario.Lookup
+	// ScenarioNames lists the registered names in paper order.
+	ScenarioNames = scenario.Names
+	// RunScenario executes one registered scenario at one seed.
+	RunScenario = scenario.Run
+	// ScenarioIndexMarkdown renders the DESIGN.md §4 experiment index
+	// from the registry.
+	ScenarioIndexMarkdown = scenario.MarkdownIndex
+)
+
 // Campaign engine: parallel multi-seed experiment fan-out (see DESIGN.md
-// "Concurrency contract"). A campaign runs one attack spec across N
-// independent seeds on a worker pool and folds the outcomes into aggregate
-// statistics whose bytes do not depend on the worker count.
+// "Concurrency contract"). A campaign runs one experiment — any registered
+// scenario, or one attack spec — across N independent seeds on a worker
+// pool and folds the outcomes into aggregate statistics whose bytes do not
+// depend on the worker count.
 type (
 	// CampaignSpec describes one campaign (attack kind, client profile,
 	// LabConfig template, seed range, worker count).
@@ -110,6 +144,12 @@ type (
 	CampaignTableIRow = campaign.TableIRow
 	// CampaignTableIOptions sizes a Table I campaign.
 	CampaignTableIOptions = campaign.TableIOptions
+	// ScenarioCampaignOptions sizes a campaign over a registered scenario.
+	ScenarioCampaignOptions = campaign.ScenarioOptions
+	// ScenarioAggregate is a scenario campaign's folded statistics.
+	ScenarioAggregate = campaign.ScenarioAggregate
+	// MetricSummary aggregates one named metric across a campaign.
+	MetricSummary = campaign.MetricSummary
 )
 
 // Campaign attack kinds.
@@ -121,8 +161,10 @@ const (
 
 // Campaign runners.
 var (
-	// RunCampaign fans one experiment spec out across N seeds.
+	// RunCampaign fans one attack spec out across N seeds.
 	RunCampaign = campaign.Run
+	// RunScenarioCampaign fans any registered scenario out across N seeds.
+	RunScenarioCampaign = campaign.RunScenario
 	// CampaignTableI aggregates Table I over a whole seed range.
 	CampaignTableI = campaign.TableI
 )

@@ -1,7 +1,15 @@
-// Campaign: fan the boot-time attack out across 32 independent seeds on
-// all cores and report aggregate statistics — success rate with a 95%
-// Wilson interval and the time-to-shift distribution. The aggregate is
-// byte-identical at any worker count; only the wall-clock time changes.
+// Campaign: fan experiments out across independent seeds on all cores
+// and report aggregate statistics — success rates with 95% Wilson
+// intervals and per-metric distributions. Aggregates are byte-identical
+// at any worker count; only the wall-clock time changes.
+//
+// Three ways to run a campaign, from most to least general:
+//
+//  1. RunScenarioCampaign over any scenario in the registry (every table,
+//     figure and scan — `dnstime.Scenarios()` lists them);
+//  2. CampaignTableI for the aggregated Table I client matrix;
+//  3. RunCampaign with an attack Spec when non-default parameters are
+//     needed (a different client profile, run-time scenario P2, …).
 package main
 
 import (
@@ -13,10 +21,35 @@ import (
 )
 
 func main() {
-	agg, err := dnstime.RunCampaign(dnstime.CampaignSpec{
+	// 1. Any registered scenario: the Table IV cache-snooping study over
+	// 16 seeds, aggregated metric by metric.
+	agg, err := dnstime.RunScenarioCampaign("table4", dnstime.ScenarioCampaignOptions{
+		Seeds: 16,
+		Fast:  true, // 20k resolvers per run instead of 200k
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(agg.Render())
+
+	// 2. The whole Table I client matrix: seven profiles × 8 seeds on one
+	// shared worker pool.
+	rows, err := dnstime.CampaignTableI(dnstime.CampaignTableIOptions{Seeds: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table I over 8 seeds per client:")
+	for _, row := range rows {
+		fmt.Printf("  %-18s boot %5.1f%%  run-time %s\n", row.Client, row.Boot.SuccessRate, row.RunTime)
+	}
+	fmt.Println()
+
+	// 3. A parameterised attack campaign: the boot-time attack against a
+	// chrony client with a −300 s target shift, 32 seeds.
+	attack, err := dnstime.RunCampaign(dnstime.CampaignSpec{
 		Kind:    dnstime.CampaignBootTime,
-		Profile: dnstime.ProfileNTPd,
-		Lab:     dnstime.LabConfig{EvilOffset: -500 * time.Second},
+		Profile: dnstime.ProfileChrony,
+		Lab:     dnstime.LabConfig{EvilOffset: -300 * time.Second},
 		Seeds:   32,
 		// Workers defaults to GOMAXPROCS; each run owns its Lab and
 		// virtual clock, so the fan-out is embarrassingly parallel.
@@ -29,22 +62,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Println(agg)
-	fmt.Printf("per-seed (first 4, seed order):\n")
-	for _, r := range agg.PerRun[:4] {
+	fmt.Println(attack)
+	fmt.Println("per-seed (first 4, seed order):")
+	for _, r := range attack.PerRun[:4] {
 		fmt.Printf("  seed %d: shifted=%t offset=%v time-to-shift=%v\n",
 			r.Seed, r.Success, r.ClockOffset, r.TimeToShift)
-	}
-
-	// CampaignTableI aggregates the whole Table I client matrix the same
-	// way: seven profiles × N seeds on one shared worker pool.
-	rows, err := dnstime.CampaignTableI(dnstime.CampaignTableIOptions{Seeds: 8})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("\nTable I over 8 seeds per client:")
-	for _, row := range rows {
-		fmt.Printf("  %-18s boot %5.1f%%  run-time %s\n", row.Client, row.Boot.SuccessRate, row.RunTime)
 	}
 }

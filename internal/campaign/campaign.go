@@ -1,14 +1,3 @@
-// Package campaign is the parallel multi-seed experiment engine: it fans
-// one experiment spec (attack kind, client profile, LabConfig template) out
-// across N independent seeds on a pool of workers and folds the per-run
-// outcomes into aggregate statistics (success rate with Wilson confidence
-// interval, mean/median/p95 time-to-shift).
-//
-// Each run builds its own Lab around its own simclock.Clock, so runs share
-// no state and the fan-out is embarrassingly parallel. Results are merged
-// in seed order regardless of completion order, so aggregate output is
-// byte-identical at any worker count (see DESIGN.md "Concurrency
-// contract").
 package campaign
 
 import (

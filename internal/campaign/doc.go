@@ -1,0 +1,23 @@
+// Package campaign is the parallel multi-seed experiment engine: it fans
+// an experiment out across N independent seeds on a pool of workers and
+// folds the per-run outcomes into aggregate statistics (success rates
+// with Wilson confidence intervals, per-metric mean/median distributions
+// with normal-approximation intervals).
+//
+// Two front ends share one pool and one merge discipline:
+//
+//   - RunScenario fans out any experiment registered with
+//     dnstime/internal/scenario — every table, figure and scan of the
+//     paper — and aggregates its generic metric map. This is how
+//     `experiments campaigns -only <name>` runs.
+//   - Run fans out one attack Spec (kind, client profile, run-time
+//     scenario, LabConfig template) for callers that need non-default
+//     attack parameters; TableI aggregates the whole Table I client
+//     matrix through the registry's table1 scenario.
+//
+// Each run builds its own Lab around its own simclock.Clock, so runs
+// share no state and the fan-out is embarrassingly parallel. Results are
+// merged in seed order regardless of completion order, so aggregate
+// output is byte-identical at any worker count (see DESIGN.md
+// "Concurrency contract").
+package campaign

@@ -1,0 +1,199 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"dnstime/internal/scenario"
+	// Populate the scenario registry with every built-in experiment so
+	// RunScenario works for any caller of this package.
+	_ "dnstime/internal/scenario/register"
+	"dnstime/internal/stats"
+)
+
+// ScenarioOptions sizes a campaign over a registered scenario.
+type ScenarioOptions struct {
+	// Seeds is the number of independent seeds (default 16). Run i uses
+	// seed BaseSeed+i.
+	Seeds int
+	// BaseSeed is the first seed (default 1).
+	BaseSeed int64
+	// Workers caps concurrent runs (default GOMAXPROCS).
+	Workers int
+	// Fast is passed through to every run's scenario.Config (shrinks the
+	// slowest scenarios' populations).
+	Fast bool
+	// Progress, if set, is called after each completed run with the number
+	// done so far. Calls are serialised but arrive in completion order,
+	// not seed order.
+	Progress func(done, total int)
+}
+
+func (o *ScenarioOptions) applyDefaults() {
+	if o.Seeds <= 0 {
+		o.Seeds = 16
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// MetricSummary aggregates one named metric across a campaign's clean
+// runs.
+type MetricSummary struct {
+	// Name is the metric key as reported by the scenario's runs.
+	Name string `json:"name"`
+	// Samples is how many runs reported the metric.
+	Samples int `json:"samples"`
+	// Mean is the sample mean, with its 95% normal-approximation CI.
+	Mean float64        `json:"mean"`
+	CI   stats.Interval `json:"mean_ci"`
+	// Median, Min and Max describe the sample distribution.
+	Median float64 `json:"median"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// ScenarioAggregate folds a scenario campaign's per-run results, merged
+// in seed order: success statistics (when the scenario reports a binary
+// outcome) plus one MetricSummary per metric name, sorted by name.
+type ScenarioAggregate struct {
+	// Scenario and PaperRef identify the experiment.
+	Scenario string `json:"scenario"`
+	PaperRef string `json:"paper_ref,omitempty"`
+	// Runs counts all runs; Errors the runs that returned an error.
+	Runs   int `json:"runs"`
+	Errors int `json:"errors"`
+	// OutcomeRuns counts the clean runs that reported a binary outcome;
+	// zero for scenarios with no pass/fail notion (then the three success
+	// fields are meaningless).
+	OutcomeRuns int `json:"outcome_runs"`
+	// Successes, SuccessRate (percent) and the 95% Wilson interval
+	// (percent) summarise the binary outcomes over OutcomeRuns.
+	Successes   int            `json:"successes"`
+	SuccessRate float64        `json:"success_rate_pct"`
+	SuccessCI   stats.Interval `json:"success_ci_pct"`
+	// Metrics summarises every metric the runs reported, sorted by name.
+	Metrics []MetricSummary `json:"metrics,omitempty"`
+	// PerRun lists every run in seed order.
+	PerRun []scenario.Result `json:"per_run,omitempty"`
+}
+
+// String renders the aggregate as one human-readable line.
+func (a ScenarioAggregate) String() string {
+	outcome := ""
+	if a.OutcomeRuns > 0 {
+		outcome = fmt.Sprintf(", %d/%d succeeded (%.1f%%, 95%% CI %.1f–%.1f%%)",
+			a.Successes, a.OutcomeRuns, a.SuccessRate, a.SuccessCI.Lo, a.SuccessCI.Hi)
+	}
+	return fmt.Sprintf("%s: %d runs%s, %d metrics, errors %d",
+		a.Scenario, a.Runs, outcome, len(a.Metrics), a.Errors)
+}
+
+// Render draws the aggregate as a per-metric table in the style of the
+// paper's tables: mean with 95% CI, median and range per metric.
+func (a ScenarioAggregate) Render() string {
+	var sb strings.Builder
+	sb.WriteString(a.String())
+	sb.WriteByte('\n')
+	if len(a.Metrics) == 0 {
+		return sb.String()
+	}
+	t := stats.NewTable("Metric", "mean", "95% CI", "median", "min–max")
+	for _, m := range a.Metrics {
+		t.AddRow(m.Name,
+			fmt.Sprintf("%.2f", m.Mean),
+			fmt.Sprintf("%.2f–%.2f", m.CI.Lo, m.CI.Hi),
+			fmt.Sprintf("%.2f", m.Median),
+			fmt.Sprintf("%.2f–%.2f", m.Min, m.Max))
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+// RunScenario executes a campaign over the named registered scenario:
+// Seeds independent runs on Workers workers, folded into a
+// ScenarioAggregate whose contents do not depend on the worker count.
+func RunScenario(name string, opts ScenarioOptions) (ScenarioAggregate, error) {
+	sc, ok := scenario.Lookup(name)
+	if !ok {
+		return ScenarioAggregate{}, fmt.Errorf(
+			"campaign: unknown scenario %q (have: %s)", name, strings.Join(scenario.Names(), ", "))
+	}
+	opts.applyDefaults()
+	results := make([]scenario.Result, opts.Seeds)
+	runPool(opts.Seeds, opts.Workers, opts.Progress, func(i int) {
+		seed := opts.BaseSeed + int64(i)
+		res, err := sc.Run(seed, scenario.Config{Fast: opts.Fast})
+		res.Seed = seed
+		if err != nil {
+			res.Err = err.Error()
+		}
+		results[i] = res
+	})
+	return foldScenario(sc, results), nil
+}
+
+// foldScenario merges per-run results (already in seed order) into a
+// ScenarioAggregate.
+func foldScenario(sc scenario.Scenario, results []scenario.Result) ScenarioAggregate {
+	agg := ScenarioAggregate{
+		Scenario: sc.Name,
+		PaperRef: sc.PaperRef,
+		Runs:     len(results),
+		PerRun:   results,
+	}
+	samples := map[string][]float64{}
+	for _, r := range results {
+		if r.Err != "" {
+			agg.Errors++
+			continue
+		}
+		if r.Success != nil {
+			agg.OutcomeRuns++
+			if *r.Success {
+				agg.Successes++
+			}
+		}
+		for name, v := range r.Metrics {
+			samples[name] = append(samples[name], v)
+		}
+	}
+	if agg.OutcomeRuns > 0 {
+		agg.SuccessRate = 100 * float64(agg.Successes) / float64(agg.OutcomeRuns)
+		ci := stats.Wilson(agg.Successes, agg.OutcomeRuns)
+		agg.SuccessCI = stats.Interval{Lo: 100 * ci.Lo, Hi: 100 * ci.Hi}
+	}
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		xs := samples[name]
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		agg.Metrics = append(agg.Metrics, MetricSummary{
+			Name:    name,
+			Samples: len(xs),
+			Mean:    stats.Mean(xs),
+			CI:      stats.MeanCI(xs),
+			Median:  stats.Median(xs),
+			Min:     min,
+			Max:     max,
+		})
+	}
+	return agg
+}

@@ -1,0 +1,167 @@
+package campaign
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dnstime/internal/scenario"
+)
+
+// TestScenarioRegistryComplete locks the catalogue the campaign engine
+// fans out: every experiment of DESIGN.md §4 must be registered.
+func TestScenarioRegistryComplete(t *testing.T) {
+	want := []string{
+		"boot", "runtime", "table1", "table2", "table3", "chronos",
+		"chronosbound", "ratelimit", "nsfrag", "fig5", "table4", "fig6",
+		"table5", "shared", "fig7",
+	}
+	names := map[string]bool{}
+	for _, n := range scenario.Names() {
+		names[n] = true
+	}
+	for _, n := range want {
+		if !names[n] {
+			t.Errorf("scenario %q not registered (have: %s)", n, strings.Join(scenario.Names(), ", "))
+		}
+	}
+	if len(names) != len(want) {
+		t.Errorf("registry has %d scenarios, want %d: %s", len(names), len(want), strings.Join(scenario.Names(), ", "))
+	}
+}
+
+// TestRunScenarioDeterministicAcrossWorkers is the acceptance criterion
+// for the registry rewrite: for EVERY registered scenario, a campaign's
+// marshalled aggregate is byte-identical at -workers 1 and -workers 8.
+func TestRunScenarioDeterministicAcrossWorkers(t *testing.T) {
+	for _, sc := range scenario.All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			marshal := func(workers int) string {
+				agg, err := RunScenario(sc.Name, ScenarioOptions{
+					Seeds:   2,
+					Workers: workers,
+					Fast:    true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := json.Marshal(agg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return string(b)
+			}
+			serial := marshal(1)
+			if parallel := marshal(8); parallel != serial {
+				t.Errorf("workers=8 output differs from workers=1:\n%s\nvs\n%s", parallel, serial)
+			}
+		})
+	}
+}
+
+func TestRunScenarioAggregate(t *testing.T) {
+	agg, err := RunScenario("boot", ScenarioOptions{Seeds: 6, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 6 || agg.Errors != 0 {
+		t.Fatalf("runs=%d errors=%d: %+v", agg.Runs, agg.Errors, agg.PerRun)
+	}
+	if agg.OutcomeRuns != 6 || agg.Successes != 6 || agg.SuccessRate != 100 {
+		t.Errorf("outcomes=%d successes=%d rate=%v, want 6/6 at 100%%",
+			agg.OutcomeRuns, agg.Successes, agg.SuccessRate)
+	}
+	if agg.SuccessCI.Lo <= 0 || agg.SuccessCI.Hi != 100 {
+		t.Errorf("Wilson CI = %+v, want (0,100]", agg.SuccessCI)
+	}
+	for i, r := range agg.PerRun {
+		if r.Seed != int64(1+i) {
+			t.Fatalf("PerRun[%d].Seed = %d, want %d (seed order)", i, r.Seed, 1+i)
+		}
+	}
+	var tts *MetricSummary
+	for i := range agg.Metrics {
+		if agg.Metrics[i].Name == "tts_s" {
+			tts = &agg.Metrics[i]
+		}
+		if i > 0 && agg.Metrics[i-1].Name >= agg.Metrics[i].Name {
+			t.Errorf("metric summaries not sorted: %q before %q", agg.Metrics[i-1].Name, agg.Metrics[i].Name)
+		}
+	}
+	if tts == nil {
+		t.Fatalf("no tts_s metric summary: %+v", agg.Metrics)
+	}
+	if tts.Samples != 6 || tts.Mean <= 0 || tts.Min > tts.Median || tts.Median > tts.Max {
+		t.Errorf("bad tts_s summary: %+v", *tts)
+	}
+}
+
+// TestRunScenarioNoOutcome: scenarios without a binary outcome (the
+// closed-form table3) must not invent success statistics.
+func TestRunScenarioNoOutcome(t *testing.T) {
+	agg, err := RunScenario("table3", ScenarioOptions{Seeds: 3, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.OutcomeRuns != 0 || agg.Successes != 0 {
+		t.Errorf("table3 reports outcomes: %+v", agg)
+	}
+	if strings.Contains(agg.String(), "succeeded") {
+		t.Errorf("outcome-free aggregate renders a success rate: %s", agg)
+	}
+	// Seed-independent closed form: identical samples, no spread beyond
+	// float rounding in the mean CI.
+	for _, m := range agg.Metrics {
+		if m.Min != m.Max || m.CI.Hi-m.CI.Lo > 1e-9 {
+			t.Errorf("metric %s varies across seeds: %+v", m.Name, m)
+		}
+	}
+}
+
+// TestTableIFastPathMatchesScenario: the profile-batched TableI fast
+// path and the registry's generic table1 scenario must report the same
+// statistics, so the two views of Table I cannot drift apart.
+func TestTableIFastPathMatchesScenario(t *testing.T) {
+	const seeds = 4
+	rows, err := TableI(TableIOptions{Seeds: seeds, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := RunScenario("table1", ScenarioOptions{Seeds: seeds, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(name string) float64 {
+		for _, m := range agg.Metrics {
+			if m.Name == name {
+				if m.Samples != seeds {
+					t.Errorf("%s: %d samples, want %d", name, m.Samples, seeds)
+				}
+				return m.Mean
+			}
+		}
+		t.Fatalf("table1 aggregate missing metric %q", name)
+		return 0
+	}
+	for _, row := range rows {
+		if got, want := row.Boot.SuccessRate, 100*mean("boot/"+row.Client); got != want {
+			t.Errorf("%s: fast-path success rate %.2f, scenario %.2f", row.Client, got, want)
+		}
+		if got, want := row.Boot.MeanTTS, mean("tts_s/"+row.Client); !closeTo(got, want, 1e-6) {
+			t.Errorf("%s: fast-path mean TTS %.6f, scenario %.6f", row.Client, got, want)
+		}
+	}
+}
+
+func closeTo(a, b, eps float64) bool {
+	d := a - b
+	return d < eps && d > -eps
+}
+
+func TestRunScenarioUnknown(t *testing.T) {
+	if _, err := RunScenario("sundial", ScenarioOptions{}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

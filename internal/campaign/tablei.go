@@ -9,6 +9,7 @@ import (
 // applicability cells plus boot-time success statistics over the whole
 // seed range.
 type TableIRow struct {
+	// Client and UsagePct are the paper's identification columns.
 	Client   string  `json:"client"`
 	UsagePct float64 `json:"usage_pct"`
 	// RunTime is the paper's run-time applicability cell (from the
@@ -20,8 +21,6 @@ type TableIRow struct {
 
 // TableIOptions sizes a Table I campaign.
 type TableIOptions struct {
-	// Lab is the LabConfig template; Seed is overwritten per run.
-	Lab core.LabConfig
 	// Seeds per profile (default 16); run i of every profile uses seed
 	// BaseSeed+i.
 	Seeds    int
@@ -37,6 +36,14 @@ type TableIOptions struct {
 // TableIOptions.Seeds seeds on one shared worker pool, returning one
 // aggregated row per profile in the paper's profile order. Output is
 // independent of the worker count.
+//
+// This is the performance path for the campaign acceptance workload
+// (BenchmarkCampaignTableI): one flat profile×seed job matrix, batched
+// per profile. The registry's table1 scenario covers the same matrix
+// behind the generic Scenario contract (RunScenario("table1", …) — what
+// `experiments campaigns -only table1` runs) and keys its per-run
+// metrics by client ("boot/NTPd", "tts_s/NTPd", …); this fast path folds
+// into the same per-profile aggregates.
 func TableI(opts TableIOptions) ([]TableIRow, error) {
 	if opts.Seeds <= 0 {
 		opts.Seeds = 16
@@ -50,7 +57,6 @@ func TableI(opts TableIOptions) ([]TableIRow, error) {
 		specs[p] = Spec{
 			Kind:     BootTime,
 			Profile:  pu.Profile,
-			Lab:      opts.Lab,
 			Seeds:    opts.Seeds,
 			BaseSeed: opts.BaseSeed,
 			Workers:  opts.Workers,

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"dnstime/internal/ntpclient"
+	"dnstime/internal/scenario"
+)
+
+// The end-to-end attack experiments register themselves with the scenario
+// registry (see internal/scenario): the headline boot-time, run-time and
+// Chronos attacks plus the Table I and Table II matrices, all at the
+// paper's default parameters. Profile- or scenario-specific variants stay
+// available through the typed runners (RunBootTimeAttack, …) and the
+// campaign.Spec engine.
+func init() {
+	scenario.Register(scenario.Scenario{
+		Name:     "boot",
+		Title:    "Boot-time attack",
+		PaperRef: "§IV-A, Fig. 2",
+		Impl:     "core.RunBootTimeAttack",
+		CLI:      "ntpattack -mode boot",
+		Params:   map[string]string{"client": "ntpd"},
+		Order:    10,
+		Run:      bootScenario,
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "runtime",
+		Title:    "Run-time attack",
+		PaperRef: "§IV-B, Fig. 3",
+		Impl:     "core.RunRuntimeAttack",
+		CLI:      "ntpattack -mode runtime",
+		Params:   map[string]string{"client": "ntpd", "scenario": "P1"},
+		Order:    20,
+		Run:      runtimeScenario,
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "table1",
+		Title:    "Table I client matrix",
+		PaperRef: "§V-A1",
+		Impl:     "core.TableI",
+		CLI:      "experiments -only table1",
+		Params:   map[string]string{"clients": "all 7"},
+		Order:    30,
+		Run:      tableIScenario,
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "table2",
+		Title:    "Table II attack durations",
+		PaperRef: "§V-A2",
+		Impl:     "core.TableII",
+		CLI:      "experiments -only table2",
+		Params:   map[string]string{"rows": "ntpd/P2 ntpd/P1 systemd/P1 chrony/P1"},
+		Order:    40,
+		Run:      tableIIScenario,
+	})
+	scenario.Register(scenario.Scenario{
+		Name:     "chronos",
+		Title:    "Chronos pool-poisoning attack",
+		PaperRef: "§VI-C, Fig. 4",
+		Impl:     "core.RunChronosAttack",
+		CLI:      "ntpattack -mode chronos",
+		Params:   map[string]string{"N": "5", "spoofed": "89"},
+		Order:    60,
+		Run:      chronosScenario,
+	})
+}
+
+// bootScenario runs the §IV-A attack against the paper's headline ntpd
+// profile.
+func bootScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
+	res, err := RunBootTimeAttack(ntpclient.ProfileNTPd, LabConfig{Seed: seed})
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	return scenario.Result{
+		Success: scenario.Bool(res.Shifted),
+		Metrics: map[string]float64{
+			"tts_s":    res.TimeToShift.Seconds(),
+			"offset_s": res.ClockOffset.Seconds(),
+		},
+	}, nil
+}
+
+// runtimeScenario runs the §IV-B attack against ntpd under Scenario P1.
+func runtimeScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
+	res, err := RunRuntimeAttack(ntpclient.ProfileNTPd, ScenarioP1, LabConfig{Seed: seed})
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	return scenario.Result{
+		Success: scenario.Bool(res.Succeeded),
+		Metrics: map[string]float64{
+			"duration_s":  res.Duration.Seconds(),
+			"dns_lookups": float64(res.DNSLookups),
+			"offset_s":    res.ClockOffset.Seconds(),
+		},
+	}, nil
+}
+
+// tableIScenario runs one seed's whole Table I matrix: the boot-time
+// attack against all seven client profiles. Per-client outcomes are keyed
+// by profile name so a campaign over this scenario aggregates into the
+// per-client Table I rows (see campaign.TableI).
+func tableIScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
+	metrics := make(map[string]float64, 3*len(ntpclient.AllProfiles()))
+	allShifted := true
+	for _, pu := range ntpclient.AllProfiles() {
+		boot, err := RunBootTimeAttack(pu.Profile, LabConfig{Seed: seed})
+		if err != nil {
+			return scenario.Result{}, fmt.Errorf("table I %s: %w", pu.Profile.Name, err)
+		}
+		success := 0.0
+		if boot.Shifted {
+			success = 1
+		} else {
+			allShifted = false
+		}
+		metrics["boot/"+pu.Profile.Name] = success
+		metrics["tts_s/"+pu.Profile.Name] = boot.TimeToShift.Seconds()
+		metrics["offset_s/"+pu.Profile.Name] = boot.ClockOffset.Seconds()
+	}
+	return scenario.Result{Success: scenario.Bool(allShifted), Metrics: metrics}, nil
+}
+
+// tableIIScenario runs one seed's four Table II run-time attack duration
+// experiments.
+func tableIIScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
+	rows, err := TableII(LabConfig{Seed: seed})
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	metrics := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		metrics["minutes/"+r.Client+"-"+r.Scenario.String()] = r.Duration.Minutes()
+	}
+	return scenario.Result{Success: scenario.Bool(true), Metrics: metrics}, nil
+}
+
+// chronosScenario runs the §VI-C attack with the paper's parameters:
+// poisoning lands after N=5 honest pool queries, 89 spoofed addresses.
+func chronosScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
+	res, err := RunChronosAttack(5, 89, LabConfig{Seed: seed})
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	controls := 0.0
+	if res.ControlsPool {
+		controls = 1
+	}
+	return scenario.Result{
+		Success: scenario.Bool(res.Shifted),
+		Metrics: map[string]float64{
+			"bound":         float64(res.Bound),
+			"pool_size":     float64(res.PoolSize),
+			"evil_in_pool":  float64(res.EvilInPool),
+			"controls_pool": controls,
+			"offset_s":      res.ClockOffset.Seconds(),
+		},
+	}, nil
+}

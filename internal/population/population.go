@@ -14,6 +14,7 @@ package population
 
 import (
 	"math/rand"
+	"sort"
 	"time"
 
 	"dnstime/internal/ipv4"
@@ -255,6 +256,35 @@ func DefaultOpenResolverConfig() OpenResolverConfig {
 
 // GenerateOpenResolvers draws the open-resolver population.
 func GenerateOpenResolvers(cfg OpenResolverConfig, seed int64) []OpenResolverSpec {
+	// Fix the record draw order up front — Table IV order, then any extra
+	// configured records sorted by name. Ranging over the PCached map
+	// would consume the RNG in Go's randomised map order and break seed
+	// determinism.
+	records := make([]PoolRecord, 0, len(cfg.PCached))
+	for _, rec := range AllPoolRecords() {
+		if _, ok := cfg.PCached[rec]; ok {
+			records = append(records, rec)
+		}
+	}
+	if len(records) < len(cfg.PCached) {
+		known := len(records)
+		for rec := range cfg.PCached {
+			extra := true
+			for _, k := range records[:known] {
+				if rec == k {
+					extra = false
+					break
+				}
+			}
+			if extra {
+				records = append(records, rec)
+			}
+		}
+		sort.Slice(records[known:], func(i, j int) bool {
+			return records[known+i] < records[known+j]
+		})
+	}
+
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]OpenResolverSpec, cfg.Total)
 	for i := range out {
@@ -267,8 +297,8 @@ func GenerateOpenResolvers(cfg OpenResolverConfig, seed int64) []OpenResolverSpe
 		s.RespectsRD = rng.Float64() < cfg.PRespectsRD
 		s.AcceptsFragments = rng.Float64() < cfg.PAcceptsFragments
 		s.Cached = make(map[PoolRecord]int)
-		for rec, p := range cfg.PCached {
-			if rng.Float64() < p {
+		for _, rec := range records {
+			if rng.Float64() < cfg.PCached[rec] {
 				s.Cached[rec] = rng.Intn(cfg.RecordTTL + 1)
 			}
 		}

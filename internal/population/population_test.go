@@ -138,6 +138,43 @@ func TestGenerateOpenResolversTableIV(t *testing.T) {
 	}
 }
 
+// TestGenerateOpenResolversDeterministic: the same (cfg, seed) must
+// produce the identical population — including when PCached carries
+// records beyond the built-in Table IV set, which must be honoured (in a
+// fixed draw order), not dropped.
+func TestGenerateOpenResolversDeterministic(t *testing.T) {
+	extra := PoolRecord("2.pool.ntp.org IN AAAA")
+	cfg := DefaultOpenResolverConfig()
+	cfg.Total = 5000
+	cfg.PCached[extra] = 1.0
+	a := GenerateOpenResolvers(cfg, 7)
+	sawExtra := false
+	for run := 0; run < 3; run++ {
+		b := GenerateOpenResolvers(cfg, 7)
+		for i := range a {
+			if len(a[i].Cached) != len(b[i].Cached) {
+				t.Fatalf("resolver %d differs between identical-seed draws", i)
+			}
+			for rec, ttl := range a[i].Cached {
+				if b[i].Cached[rec] != ttl {
+					t.Fatalf("resolver %d record %s differs between identical-seed draws", i, rec)
+				}
+			}
+		}
+	}
+	for _, r := range a {
+		if r.Responds && r.RespectsRD {
+			if _, ok := r.Cached[extra]; !ok {
+				t.Fatalf("custom PCached record %s dropped (p=1.0 must always cache it)", extra)
+			}
+			sawExtra = true
+		}
+	}
+	if !sawExtra {
+		t.Fatal("no verified resolvers drawn")
+	}
+}
+
 func TestOpenResolverTTLsWithinRange(t *testing.T) {
 	cfg := DefaultOpenResolverConfig()
 	cfg.Total = 20000

@@ -1,0 +1,38 @@
+// Package scenario is the experiment registry: the single catalogue of
+// every reproducible experiment in this repository (the boot-time,
+// run-time and Chronos attacks, Tables I–V, Figures 5–7 and the §VII
+// scans), each exposed behind one uniform contract.
+//
+// An experiment package registers itself at init time:
+//
+//	scenario.Register(scenario.Scenario{
+//		Name:     "boot",
+//		Title:    "Boot-time attack",
+//		PaperRef: "§IV-A, Fig. 2",
+//		Impl:     "core.RunBootTimeAttack",
+//		CLI:      "ntpattack -mode boot",
+//		Params:   map[string]string{"client": "ntpd"},
+//		Order:    10,
+//		Run:      runBootScenario,
+//	})
+//
+// Run takes a seed and a Config and returns a Result: an optional binary
+// outcome plus a flat map of named float64 metrics. Because every
+// scenario speaks this one shape, generic machinery can operate on all of
+// them — internal/campaign fans any registered scenario out across many
+// seeds on a worker pool and aggregates the metrics with confidence
+// intervals, and MarkdownIndex renders the DESIGN.md §4 experiment index
+// so the documentation cannot drift from the code.
+//
+// The contract every Run implementation must keep (DESIGN.md §6):
+//
+//   - Deterministic: the same (seed, cfg) must produce the identical
+//     Result. All randomness derives from the seed; no wall-clock time, no
+//     global state.
+//   - Self-contained: a run builds whatever lab or population it needs and
+//     shares nothing mutable with concurrent runs of itself or any other
+//     scenario, so the campaign engine may execute runs in parallel.
+//   - JSON-stable: metrics are plain float64s under fixed names, so a
+//     marshalled Result (and any aggregate folded from Results in seed
+//     order) is byte-identical regardless of scheduling.
+package scenario

@@ -1,0 +1,15 @@
+// Package register pulls in every scenario-providing package for its
+// registration side effect. Import it (blank) wherever the full scenario
+// catalogue must be populated — the campaign engine does, so anything
+// built on dnstime/internal/campaign or the dnstime facade sees all
+// built-in scenarios without further imports.
+package register
+
+import (
+	// Each of these packages registers its experiments with
+	// dnstime/internal/scenario in an init function. internal/core pulls
+	// in internal/chronos (and its chronosbound registration) itself.
+	_ "dnstime/internal/analysis"
+	_ "dnstime/internal/core"
+	_ "dnstime/internal/measure"
+)

@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fake registers a minimal scenario and returns it.
+func fake(t *testing.T, name string, order int) Scenario {
+	t.Helper()
+	s := Scenario{
+		Name:     name,
+		Title:    "Fake " + name,
+		PaperRef: "§0",
+		Impl:     "test." + name,
+		CLI:      "experiments campaigns -only " + name,
+		Params:   map[string]string{"b": "2", "a": "1"},
+		Order:    order,
+		Run: func(seed int64, cfg Config) (Result, error) {
+			return Result{
+				Success: Bool(true),
+				Metrics: map[string]float64{"seed_echo": float64(seed)},
+			}, nil
+		},
+	}
+	Register(s)
+	return s
+}
+
+func TestRegisterAndRun(t *testing.T) {
+	fake(t, "t-alpha", 2)
+	fake(t, "t-beta", 1)
+
+	if _, ok := Lookup("t-alpha"); !ok {
+		t.Fatal("registered scenario not found")
+	}
+	res, err := Run("t-alpha", 7, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seed != 7 {
+		t.Errorf("Seed = %d, want 7 (Run must stamp the seed)", res.Seed)
+	}
+	if res.Success == nil || !*res.Success {
+		t.Errorf("Success = %v, want true", res.Success)
+	}
+	if res.Metrics["seed_echo"] != 7 {
+		t.Errorf("metrics = %v", res.Metrics)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("no-such-scenario", 1, Config{}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestAllSortedByOrder(t *testing.T) {
+	fake(t, "t-zz-first", -10)
+	all := All()
+	if len(all) < 3 {
+		t.Fatalf("All() = %d scenarios, want the fakes registered by this test file", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		a, b := all[i-1], all[i]
+		if a.Order > b.Order || (a.Order == b.Order && a.Name > b.Name) {
+			t.Errorf("All() out of order: %q (order %d) before %q (order %d)",
+				a.Name, a.Order, b.Name, b.Order)
+		}
+	}
+	if all[0].Name != "t-zz-first" {
+		t.Errorf("All()[0] = %q, want the lowest Order regardless of name", all[0].Name)
+	}
+}
+
+func TestRegisterRejectsBadScenarios(t *testing.T) {
+	mustPanic := func(name string, s Scenario) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(s)
+	}
+	mustPanic("empty name", Scenario{Run: func(int64, Config) (Result, error) { return Result{}, nil }})
+	mustPanic("nil Run", Scenario{Name: "t-nil-run"})
+	fake(t, "t-dup", 99)
+	mustPanic("duplicate", Scenario{Name: "t-dup", Run: func(int64, Config) (Result, error) { return Result{}, nil }})
+}
+
+func TestParamStringSorted(t *testing.T) {
+	s := fake(t, "t-params", 50)
+	if got := s.ParamString(); got != "a=1 b=2" {
+		t.Errorf("ParamString() = %q, want key-sorted \"a=1 b=2\"", got)
+	}
+	if got := (Scenario{}).ParamString(); got != "—" {
+		t.Errorf("empty ParamString() = %q, want —", got)
+	}
+}
+
+func TestMarkdownIndexRowsPerScenario(t *testing.T) {
+	fake(t, "t-index", 60)
+	md := MarkdownIndex()
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	if want := len(All()) + 2; len(lines) != want {
+		t.Errorf("index has %d lines, want %d (header + rule + one per scenario)", len(lines), want)
+	}
+	if !strings.Contains(md, "| `t-index` | Fake t-index | §0 | a=1 b=2 | `test.t-index` |") {
+		t.Errorf("index missing the registered row:\n%s", md)
+	}
+}
+
+func TestResultJSONStable(t *testing.T) {
+	res := Result{
+		Seed:    3,
+		Success: Bool(false),
+		Metrics: map[string]float64{"zz": 1, "aa": 2, "mm": 3},
+	}
+	a, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		b, _ := json.Marshal(res)
+		if string(a) != string(b) {
+			t.Fatalf("marshal unstable:\n%s\nvs\n%s", a, b)
+		}
+	}
+	if !strings.Contains(string(a), `"aa":2,"mm":3,"zz":1`) {
+		t.Errorf("metric keys not sorted: %s", a)
+	}
+}

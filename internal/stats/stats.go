@@ -1,6 +1,3 @@
-// Package stats provides the small statistics and rendering helpers used by
-// the measurement harness: histograms, empirical CDFs, and fixed-width
-// tables that mirror the layout of the paper's tables and figures.
 package stats
 
 import (
@@ -204,6 +201,16 @@ func Wilson(successes, n int) Interval {
 	spread := z95 * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
 	lo := (centre - spread) / denom
 	hi := (centre + spread) / denom
+	// At p = 0 (and symmetrically p = 1) centre and spread are equal in
+	// exact arithmetic but can differ by an ulp in floating point,
+	// leaving lo a hair above 0 (or hi below 1) and breaking the
+	// invariant that the interval brackets p. Pin the exact endpoints.
+	if successes == 0 {
+		lo = 0
+	}
+	if successes == n {
+		hi = 1
+	}
 	return Interval{math.Max(0, lo), math.Min(1, hi)}
 }
 
