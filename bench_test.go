@@ -8,6 +8,7 @@
 package dnstime_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -64,35 +65,31 @@ func BenchmarkCampaignTableISerial(b *testing.B) {
 }
 
 // BenchmarkCampaignRuntime fans the §IV-B run-time attack (ntpd, P1)
-// across 64 seeds and reports runs/sec and the aggregate statistics.
+// across 64 seeds through the Engine and reports runs/sec and the
+// aggregate statistics.
 func BenchmarkCampaignRuntime(b *testing.B) {
-	var agg dnstime.CampaignAggregate
+	var agg dnstime.ScenarioAggregate
+	eng := dnstime.NewEngine(dnstime.WithSeeds(campaignSeeds))
 	for i := 0; i < b.N; i++ {
 		var err error
-		agg, err = dnstime.RunCampaign(dnstime.CampaignSpec{
-			Kind:    dnstime.CampaignRuntime,
-			Profile: dnstime.ProfileNTPd,
-			Seeds:   campaignSeeds,
-		})
+		agg, err = eng.Run(context.Background(), "runtime")
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(agg.SuccessRate, "success-pct")
-	b.ReportMetric(agg.P95TTS/60, "p95-tts-min")
 	b.ReportMetric(float64(b.N*campaignSeeds)/b.Elapsed().Seconds(), "runs/sec")
 }
 
 // BenchmarkCampaignAllScenarios fans every registered scenario out across
-// 4 seeds each (fast populations) — the whole-registry campaign smoke run
-// CI executes at -benchtime 1x so no scenario can rot out of the engine.
+// 4 seeds each (fast populations) through the Engine — the whole-registry
+// campaign smoke run CI executes at -benchtime 1x so no scenario can rot
+// out of the engine.
 func BenchmarkCampaignAllScenarios(b *testing.B) {
+	eng := dnstime.NewEngine(dnstime.WithSeeds(4), dnstime.WithFast(true))
 	for i := 0; i < b.N; i++ {
 		for _, sc := range dnstime.Scenarios() {
-			agg, err := dnstime.RunScenarioCampaign(sc.Name, dnstime.ScenarioCampaignOptions{
-				Seeds: 4,
-				Fast:  true,
-			})
+			agg, err := eng.Run(context.Background(), sc.Name)
 			if err != nil {
 				b.Fatalf("%s: %v", sc.Name, err)
 			}
@@ -102,6 +99,29 @@ func BenchmarkCampaignAllScenarios(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(dnstime.Scenarios())), "scenarios")
+}
+
+// BenchmarkEngineStream measures the streaming front end: a 64-seed
+// boot-time campaign consumed result by result in completion order. The
+// per-seed channel costs nothing measurable next to the runs themselves —
+// streaming and blocking campaigns have the same throughput.
+func BenchmarkEngineStream(b *testing.B) {
+	eng := dnstime.NewEngine(dnstime.WithSeeds(campaignSeeds))
+	for i := 0; i < b.N; i++ {
+		st, err := eng.Stream(context.Background(), "boot")
+		if err != nil {
+			b.Fatal(err)
+		}
+		streamed := 0
+		for range st.Results() {
+			streamed++
+		}
+		agg, err := st.Wait()
+		if err != nil || streamed != campaignSeeds || agg.Runs != campaignSeeds {
+			b.Fatalf("streamed %d runs, aggregate %d, err %v", streamed, agg.Runs, err)
+		}
+	}
+	b.ReportMetric(float64(b.N*campaignSeeds)/b.Elapsed().Seconds(), "runs/sec")
 }
 
 // BenchmarkTableIClientMatrix regenerates Table I: boot-time attack runs
@@ -162,7 +182,7 @@ func BenchmarkTableIIIProbabilities(b *testing.B) {
 // own 100k population at seed+12).
 func scenarioMetric(b *testing.B, name string, seed int64) dnstime.ScenarioResult {
 	b.Helper()
-	res, err := dnstime.RunScenario(name, seed, dnstime.ScenarioConfig{})
+	res, err := dnstime.RunScenario(context.Background(), name, seed, dnstime.ScenarioConfig{})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -18,19 +20,34 @@ type campaignOutput struct {
 	Seeds     int                         `json:"seeds"`
 	BaseSeed  int64                       `json:"base_seed"`
 	Fast      bool                        `json:"fast,omitempty"`
+	Params    dnstime.ScenarioParams      `json:"params,omitempty"`
 	Scenarios []dnstime.ScenarioAggregate `json:"scenarios"`
 }
 
+// repeatedFlag collects every occurrence of a repeatable string flag
+// (-param k=v -param k2=v2).
+type repeatedFlag []string
+
+// String renders the collected values (flag.Value).
+func (r *repeatedFlag) String() string { return strings.Join(*r, ",") }
+
+// Set appends one occurrence (flag.Value).
+func (r *repeatedFlag) Set(v string) error { *r = append(*r, v); return nil }
+
 // campaignConfig holds the parsed campaigns-subcommand flags.
 type campaignConfig struct {
-	seeds    int
-	workers  int
-	baseSeed int64
-	jsonOut  bool
-	only     string
-	fast     bool
-	perRun   bool
-	quiet    bool
+	seeds      int
+	workers    int
+	baseSeed   int64
+	jsonOut    bool
+	only       string
+	fast       bool
+	perRun     bool
+	quiet      bool
+	params     repeatedFlag
+	client     string
+	checkpoint string
+	resume     string
 }
 
 // campaignFlagSet declares the campaigns flag surface on a fresh FlagSet.
@@ -40,18 +57,44 @@ func campaignFlagSet(cfg *campaignConfig) *flag.FlagSet {
 	fs := flag.NewFlagSet("campaigns", flag.ContinueOnError)
 	fs.IntVar(&cfg.seeds, "seeds", 64, "independent seeds per scenario")
 	fs.IntVar(&cfg.workers, "workers", 0, "concurrent workers (0 = GOMAXPROCS)")
-	fs.Int64Var(&cfg.baseSeed, "seed", 1, "first seed; run i uses seed+i")
+	fs.Int64Var(&cfg.baseSeed, "seed", 1, "first seed; run i uses seed+i (an explicit 0 runs seed 0)")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit aggregates as JSON")
 	fs.StringVar(&cfg.only, "only", "", "comma-separated scenario subset (default: all; see `experiments scenarios`)")
 	fs.BoolVar(&cfg.fast, "fast", false, "shrink the slowest scenarios' populations")
 	fs.BoolVar(&cfg.perRun, "perrun", false, "include per-seed results in -json output")
 	fs.BoolVar(&cfg.quiet, "q", false, "suppress progress reporting on stderr")
+	fs.Var(&cfg.params, "param", "scenario param override as key=value (repeatable; needs -only with one scenario)")
+	fs.StringVar(&cfg.client, "client", "", "client profile param (shorthand for -param client=...)")
+	fs.StringVar(&cfg.checkpoint, "checkpoint", "", "write a JSONL line per completed seed to this file (needs -only with one scenario)")
+	fs.StringVar(&cfg.resume, "resume", "", "skip seeds already completed in this checkpoint file")
 	return fs
 }
 
+// campaignParams folds -param pairs and the -client shorthand into one
+// validated param set.
+func (cfg *campaignConfig) campaignParams() (dnstime.ScenarioParams, error) {
+	params, err := dnstime.ParseScenarioParams(cfg.params)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.client != "" {
+		if _, dup := params["client"]; dup {
+			return nil, errors.New("-client and -param client=... are mutually exclusive")
+		}
+		if params == nil {
+			params = dnstime.ScenarioParams{}
+		}
+		params["client"] = cfg.client
+	}
+	return params, nil
+}
+
 // runCampaigns is the campaigns subcommand: fan the selected registered
-// scenarios out across many seeds and print aggregates to w.
-func runCampaigns(argv []string, w io.Writer) error {
+// scenarios out across many seeds via the Engine and print aggregates to
+// w. Cancelling ctx (the CLI wires SIGINT to it) drains the workers,
+// prints the partial aggregate and reports the interruption; with
+// -checkpoint the run can be picked up again with -resume.
+func runCampaigns(ctx context.Context, argv []string, w io.Writer) error {
 	var cfg campaignConfig
 	fs := campaignFlagSet(&cfg)
 	if err := fs.Parse(argv); err != nil {
@@ -65,40 +108,57 @@ func runCampaigns(argv []string, w io.Writer) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected argument %q (scenarios are selected with -only name,...)", fs.Arg(0))
 	}
-	// The engine would silently default a non-positive count (and a zero
-	// base seed), leaving the echoed values out of step with the runs
-	// actually executed.
+	// The engine would silently default a non-positive count, leaving the
+	// echoed values out of step with the runs actually executed.
 	if cfg.seeds <= 0 {
 		return fmt.Errorf("-seeds must be positive (got %d)", cfg.seeds)
-	}
-	if cfg.baseSeed == 0 {
-		return fmt.Errorf("-seed must be non-zero (0 selects the engine default of 1)")
 	}
 	names, err := selectScenarios(cfg.only)
 	if err != nil {
 		return err
 	}
+	params, err := cfg.campaignParams()
+	if err != nil {
+		return err
+	}
+	// Params and checkpoints are per-scenario; applying one file or one
+	// param set across the whole registry would be nonsense.
+	if (len(params) > 0 || cfg.checkpoint != "" || cfg.resume != "") && len(names) != 1 {
+		return errors.New("-param/-client/-checkpoint/-resume need -only with exactly one scenario")
+	}
 
-	out := campaignOutput{Seeds: cfg.seeds, BaseSeed: cfg.baseSeed, Fast: cfg.fast}
+	out := campaignOutput{Seeds: cfg.seeds, BaseSeed: cfg.baseSeed, Fast: cfg.fast, Params: params}
 	for _, name := range names {
-		opts := dnstime.ScenarioCampaignOptions{
-			Seeds:    cfg.seeds,
-			BaseSeed: cfg.baseSeed,
-			Workers:  cfg.workers,
-			Fast:     cfg.fast,
+		opts := []dnstime.EngineOption{
+			dnstime.WithSeeds(cfg.seeds),
+			dnstime.WithBaseSeed(cfg.baseSeed),
+			dnstime.WithWorkers(cfg.workers),
+			dnstime.WithFast(cfg.fast),
+			dnstime.WithParams(params),
+		}
+		if cfg.checkpoint != "" {
+			opts = append(opts, dnstime.WithCheckpoint(cfg.checkpoint))
+		}
+		if cfg.resume != "" {
+			opts = append(opts, dnstime.WithResume(cfg.resume))
 		}
 		if !cfg.quiet {
 			label := name
-			opts.Progress = func(done, total int) {
+			opts = append(opts, dnstime.WithProgress(func(done, total int) {
 				fmt.Fprintf(os.Stderr, "\r%-16s %d/%d runs", label, done, total)
 				if done == total {
 					fmt.Fprintln(os.Stderr)
 				}
-			}
+			}))
 		}
-		agg, err := dnstime.RunScenarioCampaign(name, opts)
-		if err != nil {
+		agg, err := dnstime.NewEngine(opts...).Run(ctx, name)
+		interrupted := agg.Partial &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+		if err != nil && !interrupted {
 			return err
+		}
+		if interrupted && !cfg.quiet {
+			fmt.Fprintln(os.Stderr) // progress line ends without its total
 		}
 		if !cfg.perRun {
 			agg.PerRun = nil
@@ -108,6 +168,20 @@ func runCampaigns(argv []string, w io.Writer) error {
 		} else {
 			fmt.Fprintf(w, "== campaign %s (%s): %d seeds ==\n", agg.Scenario, agg.PaperRef, cfg.seeds)
 			fmt.Fprintln(w, agg.Render())
+		}
+		if interrupted {
+			if cfg.jsonOut {
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(out); err != nil {
+					return err
+				}
+			}
+			hint := ""
+			if cfg.checkpoint != "" {
+				hint = fmt.Sprintf("; resume with -resume %s", cfg.checkpoint)
+			}
+			return fmt.Errorf("interrupted after %d/%d %s runs%s", agg.Runs, cfg.seeds, name, hint)
 		}
 	}
 
@@ -181,5 +255,6 @@ func runScenarios(argv []string, w io.Writer) error {
 	}
 	fmt.Fprintln(w, t)
 	fmt.Fprintln(w, "Run any scenario as a multi-seed campaign: experiments campaigns -only <name>")
+	fmt.Fprintln(w, "Parameterisable scenarios take overrides: experiments campaigns -only boot -param client=chrony")
 	return nil
 }

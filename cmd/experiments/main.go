@@ -7,23 +7,31 @@
 //
 //	experiments [-seed N] [-fast] [-only table3,fig5,...]
 //	experiments campaigns [-seeds N] [-workers M] [-json] [-fast] [-only boot,table4,...]
+//	experiments campaigns -only boot [-param client=chrony] [-checkpoint f.jsonl] [-resume f.jsonl]
 //	experiments scenarios [-markdown]
 //
 // The default (no subcommand) is the original single-seed paper
 // reproduction; -fast skips the slowest experiments (Table II's four full
 // run-time attacks and the 2432-server rate-limit scan). The campaigns
 // subcommand fans each selected scenario out across -seeds independent
-// seeds on -workers workers (default GOMAXPROCS) and prints aggregate
-// statistics; output is identical at any worker count. The scenarios
-// subcommand lists the registry (-markdown emits the DESIGN.md §4
-// experiment index).
+// seeds on -workers workers (default GOMAXPROCS) through the campaign
+// Engine and prints aggregate statistics; output is identical at any
+// worker count. Parameterisable scenarios take `-param key=value`
+// overrides (`-client` is shorthand for `-param client=...`); with
+// `-checkpoint` the engine records each completed seed so an interrupted
+// campaign (SIGINT drains the workers and prints the partial aggregate)
+// can be picked up with `-resume`. The scenarios subcommand lists the
+// registry (-markdown emits the DESIGN.md §4 experiment index).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"dnstime"
 	"dnstime/internal/stats"
@@ -31,7 +39,16 @@ import (
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "campaigns" {
-		if err := runCampaigns(os.Args[2:], os.Stdout); err != nil {
+		// SIGINT/SIGTERM cancel the engine context: workers drain and the
+		// partial aggregate is printed. The signal hook is released as
+		// soon as the context cancels, so a second signal gets default
+		// handling (hard kill) instead of being swallowed during the
+		// drain.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		context.AfterFunc(ctx, stop)
+		err := runCampaigns(ctx, os.Args[2:], os.Stdout)
+		stop()
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments campaigns:", err)
 			os.Exit(1)
 		}

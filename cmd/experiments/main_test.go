@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -24,7 +26,7 @@ func TestRunFastTable1(t *testing.T) {
 // keys its metrics by client).
 func TestRunCampaignsTable1(t *testing.T) {
 	var out bytes.Buffer
-	err := runCampaigns([]string{"-seeds", "4", "-workers", "8", "-only", "table1", "-q"}, &out)
+	err := runCampaigns(context.Background(), []string{"-seeds", "4", "-workers", "8", "-only", "table1", "-q"}, &out)
 	if err != nil {
 		t.Fatalf("runCampaigns: %v", err)
 	}
@@ -46,7 +48,7 @@ func TestRunCampaignsDeterministicForEveryScenario(t *testing.T) {
 			t.Parallel()
 			render := func(workers string) string {
 				var out bytes.Buffer
-				err := runCampaigns([]string{
+				err := runCampaigns(context.Background(), []string{
 					"-seeds", "2", "-fast", "-workers", workers,
 					"-only", name, "-json", "-perrun", "-q",
 				}, &out)
@@ -81,7 +83,7 @@ func TestRunCampaignsAllScenariosByDefault(t *testing.T) {
 }
 
 func TestRunCampaignsUnknownScenario(t *testing.T) {
-	err := runCampaigns([]string{"-only", "sundial"}, io.Discard)
+	err := runCampaigns(context.Background(), []string{"-only", "sundial"}, io.Discard)
 	if err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
@@ -92,19 +94,33 @@ func TestRunCampaignsUnknownScenario(t *testing.T) {
 
 func TestRunCampaignsBadSeeds(t *testing.T) {
 	for _, seeds := range []string{"0", "-3"} {
-		if err := runCampaigns([]string{"-seeds", seeds}, nil); err == nil {
+		if err := runCampaigns(context.Background(), []string{"-seeds", seeds}, nil); err == nil {
 			t.Errorf("-seeds %s accepted", seeds)
 		}
 	}
-	// -seed 0 would be silently bumped to 1 by the engine, contradicting
-	// the echoed base_seed.
-	if err := runCampaigns([]string{"-seed", "0"}, nil); err == nil {
-		t.Error("-seed 0 accepted")
-	}
 	// A positional argument is almost always a forgotten -only; silently
 	// ignoring it would run the entire registry.
-	if err := runCampaigns([]string{"table4"}, nil); err == nil {
+	if err := runCampaigns(context.Background(), []string{"table4"}, nil); err == nil {
 		t.Error("positional argument accepted")
+	}
+}
+
+// TestRunCampaignsSeedZero: the Engine distinguishes an explicit -seed 0
+// from the unset default, so campaign seed 0 is requestable (it used to
+// be rejected because the old option struct could not express it).
+func TestRunCampaignsSeedZero(t *testing.T) {
+	var out bytes.Buffer
+	err := runCampaigns(context.Background(), []string{
+		"-seed", "0", "-seeds", "2", "-only", "boot", "-json", "-perrun", "-q",
+	}, &out)
+	if err != nil {
+		t.Fatalf("runCampaigns -seed 0: %v", err)
+	}
+	if !strings.Contains(out.String(), `"base_seed": 0`) {
+		t.Errorf("output does not echo base seed 0:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), `"seed": 0`) {
+		t.Errorf("no per-run result for seed 0:\n%s", out.String())
 	}
 }
 
@@ -240,4 +256,101 @@ func shellCommands(markdown string) []string {
 		}
 	}
 	return cmds
+}
+
+// TestRunCampaignsParam: a -param override reaches the runs — a boot
+// campaign at a −123 s target shift must report exactly that offset in
+// its aggregate (the default campaign lands at −500 s).
+func TestRunCampaignsParam(t *testing.T) {
+	var out bytes.Buffer
+	err := runCampaigns(context.Background(), []string{
+		"-seeds", "2", "-only", "boot", "-param", "offset=-123s", "-q",
+	}, &out)
+	if err != nil {
+		t.Fatalf("runCampaigns -param offset=-123s: %v", err)
+	}
+	if !strings.Contains(out.String(), "-123.00") {
+		t.Errorf("offset_s metric does not reflect the -123 s param:\n%s", out.String())
+	}
+}
+
+// TestRunCampaignsClientFlag: -client is shorthand for -param client=...
+// (the parametrisation the campaigns CLI used to lack).
+func TestRunCampaignsClientFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := runCampaigns(context.Background(), []string{
+		"-seeds", "2", "-only", "boot", "-client", "chrony", "-q",
+	}, &out)
+	if err != nil {
+		t.Fatalf("runCampaigns -client chrony: %v", err)
+	}
+	if !strings.Contains(out.String(), "2/2 succeeded") {
+		t.Errorf("chrony boot campaign output:\n%s", out.String())
+	}
+}
+
+// TestRunCampaignsParamValidation: the param surface fails fast — on
+// malformed pairs, on multi-scenario selections, on keys the scenario
+// does not declare, and on -client colliding with -param client=.
+func TestRunCampaignsParamValidation(t *testing.T) {
+	cases := map[string][]string{
+		"param without -only":      {"-param", "client=chrony"},
+		"param with two scenarios": {"-only", "boot,chronos", "-param", "N=9"},
+		"malformed pair":           {"-only", "boot", "-param", "client"},
+		"undeclared key":           {"-only", "boot", "-param", "clinet=x", "-seeds", "1"},
+		"param on no-param scenario": {
+			"-only", "table4", "-param", "client=x", "-seeds", "1"},
+		"client twice":             {"-only", "boot", "-client", "ntpd", "-param", "client=chrony"},
+		"checkpoint without -only": {"-checkpoint", "x.jsonl"},
+	}
+	for name, argv := range cases {
+		if err := runCampaigns(context.Background(), argv, io.Discard); err == nil {
+			t.Errorf("%s: accepted (argv %v)", name, argv)
+		}
+	}
+}
+
+// TestRunCampaignsCheckpointResume: a checkpointed prefix campaign plus a
+// -resume completion emits byte-identical -json output to one
+// uninterrupted run.
+func TestRunCampaignsCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "boot.jsonl")
+	render := func(argv ...string) string {
+		t.Helper()
+		var out bytes.Buffer
+		argv = append(argv, "-only", "boot", "-json", "-perrun", "-q")
+		if err := runCampaigns(context.Background(), argv, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	full := render("-seeds", "4")
+	// Prefix run: seeds 1–2 recorded in the checkpoint.
+	render("-seeds", "2", "-checkpoint", path)
+	resumed := render("-seeds", "4", "-resume", path)
+	if resumed != full {
+		t.Errorf("resumed output differs from uninterrupted run:\n%s\nvs\n%s", resumed, full)
+	}
+}
+
+// TestRunCampaignsInterrupted: a cancelled context (the CLI wires SIGINT
+// to it) drains cleanly, prints the aggregate marked partial, and reports
+// the interruption with a resume hint.
+func TestRunCampaignsInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	var out bytes.Buffer
+	err := runCampaigns(ctx, []string{
+		"-seeds", "4", "-only", "boot", "-checkpoint", path, "-q",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("err = %v, want interruption report", err)
+	}
+	if !strings.Contains(err.Error(), "-resume "+path) {
+		t.Errorf("interruption report lacks resume hint: %v", err)
+	}
+	if !strings.Contains(out.String(), "partial") {
+		t.Errorf("partial aggregate not rendered:\n%s", out.String())
+	}
 }

@@ -31,32 +31,11 @@ func main() {
 	}
 }
 
-func profileByName(name string) (dnstime.Profile, error) {
-	switch strings.ToLower(name) {
-	case "ntpd":
-		return dnstime.ProfileNTPd, nil
-	case "chrony":
-		return dnstime.ProfileChrony, nil
-	case "openntpd":
-		return dnstime.ProfileOpenNTPD, nil
-	case "ntpdate":
-		return dnstime.ProfileNtpdate, nil
-	case "android":
-		return dnstime.ProfileAndroid, nil
-	case "ntpclient":
-		return dnstime.ProfileNtpclient, nil
-	case "systemd", "systemd-timesyncd":
-		return dnstime.ProfileSystemd, nil
-	default:
-		return dnstime.Profile{}, fmt.Errorf("unknown client %q", name)
-	}
-}
-
 func run(mode, clientName, scenario string, n, spoofed int, seed int64) error {
 	cfg := dnstime.LabConfig{Seed: seed}
 	switch mode {
 	case "boot":
-		prof, err := profileByName(clientName)
+		prof, err := dnstime.ProfileByName(clientName)
 		if err != nil {
 			return err
 		}
@@ -70,7 +49,7 @@ func run(mode, clientName, scenario string, n, spoofed int, seed int64) error {
 		fmt.Printf("  final clock offset:         %v\n", res.ClockOffset)
 		fmt.Printf("  time to shift after boot:   %v\n", res.TimeToShift.Round(1e9))
 	case "runtime":
-		prof, err := profileByName(clientName)
+		prof, err := dnstime.ProfileByName(clientName)
 		if err != nil {
 			return err
 		}

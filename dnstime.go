@@ -15,8 +15,10 @@
 //   - TableI / TableII / TableIII and the measurement runners regenerate
 //     every table and figure of the evaluation (see EXPERIMENTS.md).
 //   - Every experiment is also registered as a Scenario (Scenarios,
-//     RunScenario), and RunScenarioCampaign fans any of them out across
-//     many seeds with aggregate statistics (DESIGN.md §6).
+//     RunScenario), and the campaign Engine (NewEngine) fans any of them
+//     out across many seeds with streaming per-seed results, context
+//     cancellation, checkpoint/resume and aggregate statistics
+//     (DESIGN.md §6–§7).
 //
 // Quickstart:
 //
@@ -106,8 +108,12 @@ type (
 	Scenario = scenario.Scenario
 	// ScenarioResult is one seeded scenario run outcome.
 	ScenarioResult = scenario.Result
-	// ScenarioConfig tunes a run (Fast shrinks the largest populations).
+	// ScenarioConfig tunes a run (Fast shrinks the largest populations;
+	// Params overrides a parameterisable scenario's defaults).
 	ScenarioConfig = scenario.Config
+	// ScenarioParams parameterises a scenario variant (k=v overrides,
+	// validated against the scenario's ParamKeys).
+	ScenarioParams = scenario.Params
 )
 
 // Scenario registry access.
@@ -120,19 +126,42 @@ var (
 	ScenarioNames = scenario.Names
 	// RunScenario executes one registered scenario at one seed.
 	RunScenario = scenario.Run
+	// ParseScenarioParams parses "key=value" pairs (repeated CLI -param
+	// flags) into ScenarioParams.
+	ParseScenarioParams = scenario.ParseParams
 	// ScenarioIndexMarkdown renders the DESIGN.md §4 experiment index
 	// from the registry.
 	ScenarioIndexMarkdown = scenario.MarkdownIndex
 )
 
 // Campaign engine: parallel multi-seed experiment fan-out (see DESIGN.md
-// "Concurrency contract"). A campaign runs one experiment — any registered
-// scenario, or one attack spec — across N independent seeds on a worker
-// pool and folds the outcomes into aggregate statistics whose bytes do not
-// depend on the worker count.
+// §7 "Engine contract"). An Engine runs any registered scenario —
+// optionally parameterised — across N independent seeds on a worker pool,
+// streams per-seed results in completion order, folds a deterministic
+// seed-order aggregate whose bytes do not depend on the worker count,
+// honours context cancellation (partial aggregate, workers drained) and
+// checkpoints/resumes itself across interruptions.
 type (
+	// Engine is the unified campaign execution surface.
+	Engine = campaign.Engine
+	// EngineOption configures an Engine (see the With* options).
+	EngineOption = campaign.Option
+	// CampaignStream is a running campaign's per-seed result stream.
+	CampaignStream = campaign.Stream
+	// ScenarioAggregate is a scenario campaign's folded statistics.
+	ScenarioAggregate = campaign.ScenarioAggregate
+	// MetricSummary aggregates one named metric across a campaign.
+	MetricSummary = campaign.MetricSummary
+	// CampaignTableIRow is one aggregated Table I row.
+	CampaignTableIRow = campaign.TableIRow
+	// CampaignTableIOptions sizes a Table I campaign.
+	CampaignTableIOptions = campaign.TableIOptions
+
 	// CampaignSpec describes one campaign (attack kind, client profile,
 	// LabConfig template, seed range, worker count).
+	//
+	// Deprecated: express the attack as a parameterised scenario run via
+	// NewEngine and WithParams.
 	CampaignSpec = campaign.Spec
 	// CampaignKind selects the attack a campaign repeats.
 	CampaignKind = campaign.Kind
@@ -140,16 +169,10 @@ type (
 	CampaignResult = campaign.Result
 	// CampaignAggregate is a campaign's folded statistics.
 	CampaignAggregate = campaign.Aggregate
-	// CampaignTableIRow is one aggregated Table I row.
-	CampaignTableIRow = campaign.TableIRow
-	// CampaignTableIOptions sizes a Table I campaign.
-	CampaignTableIOptions = campaign.TableIOptions
 	// ScenarioCampaignOptions sizes a campaign over a registered scenario.
+	//
+	// Deprecated: use NewEngine with Options.
 	ScenarioCampaignOptions = campaign.ScenarioOptions
-	// ScenarioAggregate is a scenario campaign's folded statistics.
-	ScenarioAggregate = campaign.ScenarioAggregate
-	// MetricSummary aggregates one named metric across a campaign.
-	MetricSummary = campaign.MetricSummary
 )
 
 // Campaign attack kinds.
@@ -159,14 +182,45 @@ const (
 	CampaignChronos  = campaign.Chronos
 )
 
+// Engine constructor and functional options.
+var (
+	// NewEngine builds a campaign Engine from options; Run(ctx, name)
+	// blocks for the aggregate, Stream(ctx, name) yields per-seed results.
+	NewEngine = campaign.NewEngine
+	// WithSeeds sets the number of independent seeds (default 16).
+	WithSeeds = campaign.WithSeeds
+	// WithBaseSeed sets the first seed; an explicit 0 is honoured.
+	WithBaseSeed = campaign.WithBaseSeed
+	// WithWorkers caps concurrent runs (default GOMAXPROCS).
+	WithWorkers = campaign.WithWorkers
+	// WithFast shrinks the slowest scenarios' populations.
+	WithFast = campaign.WithFast
+	// WithParams merges scenario param overrides into every run.
+	WithParams = campaign.WithParams
+	// WithParam sets one scenario param override.
+	WithParam = campaign.WithParam
+	// WithProgress installs a completion-order progress callback.
+	WithProgress = campaign.WithProgress
+	// WithCheckpoint writes a JSONL line per completed seed to a file.
+	WithCheckpoint = campaign.WithCheckpoint
+	// WithResume skips seeds already recorded in a checkpoint file.
+	WithResume = campaign.WithResume
+)
+
 // Campaign runners.
 var (
-	// RunCampaign fans one attack spec out across N seeds.
-	RunCampaign = campaign.Run
-	// RunScenarioCampaign fans any registered scenario out across N seeds.
-	RunScenarioCampaign = campaign.RunScenario
 	// CampaignTableI aggregates Table I over a whole seed range.
 	CampaignTableI = campaign.TableI
+
+	// RunCampaign fans one attack spec out across N seeds.
+	//
+	// Deprecated: use NewEngine with WithParams ("boot", "runtime" and
+	// "chronos" are parameterisable scenarios).
+	RunCampaign = campaign.Run
+	// RunScenarioCampaign fans any registered scenario out across N seeds.
+	//
+	// Deprecated: use NewEngine(...).Run(ctx, name).
+	RunScenarioCampaign = campaign.RunScenario
 )
 
 // NTP client behaviour profiles (Table I).
@@ -183,6 +237,9 @@ var (
 	ProfileSystemd   = ntpclient.ProfileSystemd
 	// AllProfiles lists every profile with its pool.ntp.org usage share.
 	AllProfiles = ntpclient.AllProfiles
+	// ProfileByName resolves a client-profile name as the CLIs and
+	// parameterised scenarios spell it ("ntpd", "chrony", …).
+	ProfileByName = ntpclient.ProfileByName
 )
 
 // Probability analysis (§V-B, Table III).

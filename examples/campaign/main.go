@@ -1,38 +1,73 @@
 // Campaign: fan experiments out across independent seeds on all cores
-// and report aggregate statistics — success rates with 95% Wilson
-// intervals and per-metric distributions. Aggregates are byte-identical
-// at any worker count; only the wall-clock time changes.
+// through the Engine and report aggregate statistics — success rates with
+// 95% Wilson intervals and per-metric distributions. Aggregates are
+// byte-identical at any worker count; only the wall-clock time changes.
 //
-// Three ways to run a campaign, from most to least general:
+// One API covers every use:
 //
-//  1. RunScenarioCampaign over any scenario in the registry (every table,
-//     figure and scan — `dnstime.Scenarios()` lists them);
-//  2. CampaignTableI for the aggregated Table I client matrix;
-//  3. RunCampaign with an attack Spec when non-default parameters are
-//     needed (a different client profile, run-time scenario P2, …).
+//  1. Engine.Run blocks for the aggregate of any registered scenario
+//     (every table, figure and scan — `dnstime.Scenarios()` lists them);
+//  2. Engine.Stream yields per-seed results in completion order while the
+//     seed-order aggregate folds behind it — and the context cancels a
+//     campaign cleanly (workers drain, the partial aggregate is marked);
+//  3. params make attack variants (any client profile, target shift,
+//     Chronos knobs) ordinary campaign runs — no separate entry point;
+//  4. WithCheckpoint/WithResume persist completed seeds as JSONL so an
+//     interrupted campaign picks up where it left off, byte-identically.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"time"
 
 	"dnstime"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Any registered scenario: the Table IV cache-snooping study over
 	// 16 seeds, aggregated metric by metric.
-	agg, err := dnstime.RunScenarioCampaign("table4", dnstime.ScenarioCampaignOptions{
-		Seeds: 16,
-		Fast:  true, // 20k resolvers per run instead of 200k
-	})
+	agg, err := dnstime.NewEngine(
+		dnstime.WithSeeds(16),
+		dnstime.WithFast(true), // 20k resolvers per run instead of 200k
+	).Run(ctx, "table4")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(agg.Render())
 
-	// 2. The whole Table I client matrix: seven profiles × 8 seeds on one
+	// 2. A parameterised attack campaign, streamed: the boot-time attack
+	// against a chrony client with a −300 s target shift, 32 seeds.
+	// Results arrive in completion order; the aggregate stays seed-order
+	// deterministic.
+	st, err := dnstime.NewEngine(
+		dnstime.WithSeeds(32),
+		dnstime.WithParam("client", "chrony"),
+		dnstime.WithParam("offset", "-300s"),
+		// Workers defaults to GOMAXPROCS; each run owns its Lab and
+		// virtual clock, so the fan-out is embarrassingly parallel.
+	).Stream(ctx, "boot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	shown := 0
+	for res := range st.Results() {
+		if shown < 4 {
+			shifted := res.Success != nil && *res.Success
+			fmt.Printf("  seed %d: shifted=%t offset=%.0fs tts=%.0fs (completion order)\n",
+				res.Seed, shifted, res.Metrics["offset_s"], res.Metrics["tts_s"])
+		}
+		shown++
+	}
+	attack, err := st.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(attack)
+
+	// 3. The whole Table I client matrix: seven profiles × 8 seeds on one
 	// shared worker pool.
 	rows, err := dnstime.CampaignTableI(dnstime.CampaignTableIOptions{Seeds: 8})
 	if err != nil {
@@ -41,31 +76,5 @@ func main() {
 	fmt.Println("Table I over 8 seeds per client:")
 	for _, row := range rows {
 		fmt.Printf("  %-18s boot %5.1f%%  run-time %s\n", row.Client, row.Boot.SuccessRate, row.RunTime)
-	}
-	fmt.Println()
-
-	// 3. A parameterised attack campaign: the boot-time attack against a
-	// chrony client with a −300 s target shift, 32 seeds.
-	attack, err := dnstime.RunCampaign(dnstime.CampaignSpec{
-		Kind:    dnstime.CampaignBootTime,
-		Profile: dnstime.ProfileChrony,
-		Lab:     dnstime.LabConfig{EvilOffset: -300 * time.Second},
-		Seeds:   32,
-		// Workers defaults to GOMAXPROCS; each run owns its Lab and
-		// virtual clock, so the fan-out is embarrassingly parallel.
-		Progress: func(done, total int) {
-			if done%8 == 0 || done == total {
-				fmt.Printf("  %d/%d runs complete\n", done, total)
-			}
-		},
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(attack)
-	fmt.Println("per-seed (first 4, seed order):")
-	for _, r := range attack.PerRun[:4] {
-		fmt.Printf("  seed %d: shifted=%t offset=%v time-to-shift=%v\n",
-			r.Seed, r.Success, r.ClockOffset, r.TimeToShift)
 	}
 }

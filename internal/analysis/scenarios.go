@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 
 	"dnstime/internal/scenario"
@@ -25,7 +26,7 @@ func init() {
 
 // tableIIIScenario evaluates every Table III row at the paper's measured
 // rate-limiting probability.
-func tableIIIScenario(int64, scenario.Config) (scenario.Result, error) {
+func tableIIIScenario(context.Context, int64, scenario.Config) (scenario.Result, error) {
 	rows := TableIII(DefaultPRate)
 	metrics := make(map[string]float64, 3*len(rows))
 	for _, r := range rows {

@@ -1,14 +1,17 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"dnstime/internal/core"
 	"dnstime/internal/ntpclient"
+	"dnstime/internal/scenario"
 	"dnstime/internal/stats"
 )
 
@@ -50,6 +53,12 @@ var ErrBadSpec = errors.New("campaign: bad spec")
 
 // Spec describes one campaign: the experiment to repeat and how to fan it
 // out.
+//
+// Deprecated: use NewEngine with a parameterised scenario — the attack
+// kinds are registered scenarios ("boot", "runtime", "chronos") whose
+// client profile, run-time scenario, Chronos knobs and lab sizing are all
+// ordinary params (WithParam("client", "chrony"), …). Spec remains as a
+// thin shim that translates itself into such a parameterised campaign.
 type Spec struct {
 	// Kind selects the attack (required).
 	Kind Kind
@@ -172,15 +181,107 @@ func (a Aggregate) String() string {
 // Run executes the campaign: Spec.Seeds independent runs on Spec.Workers
 // workers, folded into an Aggregate whose contents do not depend on the
 // worker count.
+//
+// Deprecated: use NewEngine(...).Run(ctx, "boot"|"runtime"|"chronos")
+// with WithParams — this shim translates the Spec into exactly such a
+// parameterised scenario campaign and converts the aggregate back to the
+// legacy shape. Spec.Profile must be one of the registered Table I
+// profiles; bespoke Profile values cannot be expressed as params. Per-run
+// durations are reconstructed from the scenario's seconds metrics, so
+// they can differ from the pre-Engine values by ~1 ns of float rounding;
+// the seconds-domain statistics are unaffected.
 func Run(spec Spec) (Aggregate, error) {
 	if err := spec.applyDefaults(); err != nil {
 		return Aggregate{}, err
 	}
-	results := make([]Result, spec.Seeds)
-	runPool(spec.Seeds, spec.Workers, spec.Progress, func(i int) {
-		results[i] = runOne(&spec, spec.BaseSeed+int64(i))
-	})
+	name, params, err := spec.scenarioVariant()
+	if err != nil {
+		return Aggregate{}, err
+	}
+	agg, err := NewEngine(
+		WithSeeds(spec.Seeds),
+		WithBaseSeed(spec.BaseSeed),
+		WithWorkers(spec.Workers),
+		WithParams(params),
+		WithProgress(spec.Progress),
+	).Run(context.Background(), name)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	results := make([]Result, len(agg.PerRun))
+	for i, r := range agg.PerRun {
+		results[i] = legacyResult(spec.Kind, r)
+	}
 	return fold(spec.Label(), results, spec.Kind), nil
+}
+
+// scenarioVariant translates the Spec (kind, profile, run-time scenario,
+// Chronos knobs, LabConfig template) into the registered scenario name
+// and the params that reproduce it through the Engine.
+func (s *Spec) scenarioVariant() (string, scenario.Params, error) {
+	params := scenario.Params{}
+	switch s.Kind {
+	case BootTime, Runtime:
+		prof, err := ntpclient.ProfileByName(s.Profile.Name)
+		if err != nil || prof != s.Profile {
+			return "", nil, fmt.Errorf(
+				"%w: Spec.Profile %q is not a registered Table I profile; run a parameterised scenario via the Engine instead",
+				ErrBadSpec, s.Profile.Name)
+		}
+		params["client"] = s.Profile.Name
+		if s.Kind == Runtime {
+			params["scenario"] = s.Scenario.String()
+		}
+	case Chronos:
+		params["N"] = strconv.Itoa(s.ChronosN)
+		params["spoofed"] = strconv.Itoa(s.ChronosSpoofed)
+	}
+	if s.Lab.EvilOffset != 0 {
+		params["offset"] = s.Lab.EvilOffset.String()
+	}
+	if s.Lab.HonestServers != 0 {
+		params["honest_servers"] = strconv.Itoa(s.Lab.HonestServers)
+	}
+	if s.Lab.EvilServers != 0 {
+		params["evil_servers"] = strconv.Itoa(s.Lab.EvilServers)
+	}
+	if s.Lab.PadResponses != 0 {
+		params["pad_b"] = strconv.Itoa(s.Lab.PadResponses)
+	}
+	if s.Lab.PoolTTL != 0 {
+		params["pool_ttl_s"] = strconv.FormatUint(uint64(s.Lab.PoolTTL), 10)
+	}
+	if s.Lab.RateLimitHonest != nil {
+		params["ratelimit"] = strconv.FormatBool(*s.Lab.RateLimitHonest)
+	}
+	if s.Lab.ResolverValidatesDNSSEC {
+		params["dnssec"] = "true"
+	}
+	name := map[Kind]string{BootTime: "boot", Runtime: "runtime", Chronos: "chronos"}[s.Kind]
+	return name, params, nil
+}
+
+// legacyResult converts a generic scenario Result back into the legacy
+// per-run shape (durations reconstructed from the metric map).
+func legacyResult(kind Kind, r scenario.Result) Result {
+	out := Result{Seed: r.Seed, Err: r.Err}
+	if r.Err != "" {
+		return out
+	}
+	out.Success = r.Success != nil && *r.Success
+	out.ClockOffset = secondsToDuration(r.Metrics["offset_s"])
+	switch kind {
+	case BootTime:
+		out.TimeToShift = secondsToDuration(r.Metrics["tts_s"])
+	case Runtime:
+		out.TimeToShift = secondsToDuration(r.Metrics["duration_s"])
+	}
+	return out
+}
+
+// secondsToDuration converts a metric in seconds back to a Duration.
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
 }
 
 // runPool runs fn(0..n-1) on the given number of workers and reports

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"encoding/json"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -200,5 +201,13 @@ func TestRunBadSpec(t *testing.T) {
 	}
 	if _, err := Run(Spec{Kind: BootTime}); err == nil {
 		t.Error("boot-time campaign without profile succeeded, want ErrBadSpec")
+	}
+	// The Spec shim translates the profile into a scenario param, so a
+	// bespoke profile (not one of the Table I registrations) cannot be
+	// expressed and must be rejected rather than silently replaced.
+	custom := ntpclient.ProfileNTPd
+	custom.PollInterval = 1 // no longer the registered profile
+	if _, err := Run(Spec{Kind: BootTime, Profile: custom, Seeds: 1}); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("bespoke profile: err = %v, want ErrBadSpec", err)
 	}
 }

@@ -4,16 +4,32 @@
 // with Wilson confidence intervals, per-metric mean/median distributions
 // with normal-approximation intervals).
 //
-// Two front ends share one pool and one merge discipline:
+// The execution surface is one API, the Engine:
 //
-//   - RunScenario fans out any experiment registered with
-//     dnstime/internal/scenario — every table, figure and scan of the
-//     paper — and aggregates its generic metric map. This is how
-//     `experiments campaigns -only <name>` runs.
-//   - Run fans out one attack Spec (kind, client profile, run-time
-//     scenario, LabConfig template) for callers that need non-default
-//     attack parameters; TableI aggregates the whole Table I client
-//     matrix through the registry's table1 scenario.
+//	eng := campaign.NewEngine(
+//	    campaign.WithSeeds(64),
+//	    campaign.WithParam("client", "chrony"),
+//	)
+//	agg, err := eng.Run(ctx, "boot")   // blocking
+//	st, err := eng.Stream(ctx, "boot") // per-seed results as they land
+//
+// Run blocks for the final aggregate; Stream yields typed per-seed
+// Results in completion order while the deterministic seed-order
+// aggregate folds behind it. Cancelling ctx drains the workers cleanly
+// and yields a partial aggregate (marked Partial) covering exactly the
+// completed seeds. WithParams parameterises any scenario that declares
+// ParamKeys — the attack experiments accept client profile, run-time
+// scenario, target shift and lab sizing, so every attack variant is an
+// ordinary campaign. WithCheckpoint records one JSONL line per completed
+// seed and WithResume skips recorded seeds byte-identically, so an
+// interrupted campaign resumes into the same final aggregate as an
+// uninterrupted run. See DESIGN.md §7 for the full Engine contract.
+//
+// The pre-Engine entry points remain as thin deprecated shims:
+// RunScenario (option struct, no context) and Run (attack Spec,
+// translated into a parameterised scenario campaign). TableI is the
+// profile-batched fast path over the Table I matrix, pinned by test to
+// the registry's table1 scenario.
 //
 // Each run builds its own Lab around its own simclock.Clock, so runs
 // share no state and the fan-out is embarrassingly parallel. Results are

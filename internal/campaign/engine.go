@@ -1,0 +1,314 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"runtime"
+	"strings"
+	"sync"
+
+	"dnstime/internal/scenario"
+)
+
+// Option configures an Engine (functional-option style). Unlike the
+// deprecated option structs, Options distinguish "unset" from an explicit
+// zero value: WithBaseSeed(0) really runs seed 0.
+type Option func(*engineConfig)
+
+// engineConfig is the resolved option set an Engine runs with.
+type engineConfig struct {
+	seeds       int
+	baseSeed    int64
+	baseSeedSet bool
+	workers     int
+	fast        bool
+	params      scenario.Params
+	progress    func(done, total int)
+	checkpoint  string
+	resume      string
+}
+
+// WithSeeds sets the number of independent seeds (default 16). Run i uses
+// seed BaseSeed+i.
+func WithSeeds(n int) Option { return func(c *engineConfig) { c.seeds = n } }
+
+// WithBaseSeed sets the first seed (default 1). Unlike the deprecated
+// ScenarioOptions.BaseSeed, an explicit 0 is honoured: the campaign runs
+// seeds 0, 1, 2, ….
+func WithBaseSeed(s int64) Option {
+	return func(c *engineConfig) { c.baseSeed = s; c.baseSeedSet = true }
+}
+
+// WithWorkers caps concurrent runs (default GOMAXPROCS).
+func WithWorkers(n int) Option { return func(c *engineConfig) { c.workers = n } }
+
+// WithFast passes Fast through to every run's scenario.Config (shrinks
+// the slowest scenarios' populations).
+func WithFast(fast bool) Option { return func(c *engineConfig) { c.fast = fast } }
+
+// WithParams merges params into the scenario params every run receives.
+// Keys are validated against the scenario's ParamKeys before any run
+// starts.
+func WithParams(p scenario.Params) Option {
+	return func(c *engineConfig) {
+		for k, v := range p {
+			c.setParam(k, v)
+		}
+	}
+}
+
+// WithParam sets one scenario param (see WithParams).
+func WithParam(key, value string) Option {
+	return func(c *engineConfig) { c.setParam(key, value) }
+}
+
+func (c *engineConfig) setParam(k, v string) {
+	if c.params == nil {
+		c.params = scenario.Params{}
+	}
+	c.params[k] = v
+}
+
+// WithProgress installs a progress callback, called after each completed
+// run with the number done so far (resumed seeds count as already done).
+// Calls are serialised but arrive in completion order, not seed order.
+func WithProgress(fn func(done, total int)) Option {
+	return func(c *engineConfig) { c.progress = fn }
+}
+
+// WithCheckpoint makes the engine write a JSONL checkpoint to path: one
+// header line identifying the campaign, then one line per completed seed
+// in completion order. Unless path is also the WithResume source, an
+// existing file is truncated. A checkpointing Engine is tied to the one
+// campaign the header describes.
+func WithCheckpoint(path string) Option {
+	return func(c *engineConfig) { c.checkpoint = path }
+}
+
+// WithResume skips every seed already recorded in the checkpoint at path:
+// the recorded per-seed Results are reused byte-identically, so a
+// cancelled campaign resumed from its checkpoint folds into the same
+// final aggregate as an uninterrupted run. The header must match the
+// engine's scenario, fast mode and params; the seed range may differ
+// (only in-range seeds are reused). Pass the same path to WithCheckpoint
+// to keep extending one file across interruptions — with both options on
+// one path, a missing file is a fresh start rather than an error, so the
+// same invocation works for the first run and every resumption.
+func WithResume(path string) Option {
+	return func(c *engineConfig) { c.resume = path }
+}
+
+// Engine is the single execution surface for multi-seed campaigns: it
+// fans a registered scenario (optionally parameterised) out across N
+// independent seeds on a worker pool, streams per-seed Results in
+// completion order, folds a deterministic seed-order aggregate, honours
+// context cancellation by draining workers and returning a partial
+// aggregate, and can checkpoint/resume itself across interruptions.
+// An Engine is a reusable option set; each Run/Stream call executes one
+// campaign.
+type Engine struct {
+	cfg engineConfig
+}
+
+// NewEngine builds an Engine from options. Defaults: 16 seeds, base seed
+// 1, GOMAXPROCS workers, full-size populations, no params, no checkpoint.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{}
+	for _, opt := range opts {
+		opt(&e.cfg)
+	}
+	return e
+}
+
+// resolved returns the engine config with defaults applied.
+func (e *Engine) resolved() engineConfig {
+	c := e.cfg
+	if c.seeds <= 0 {
+		c.seeds = 16
+	}
+	if !c.baseSeedSet {
+		c.baseSeed = 1
+	}
+	if c.workers <= 0 {
+		c.workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Run executes the campaign over the named registered scenario and blocks
+// until every seed completes (or ctx is cancelled — then the returned
+// aggregate is partial, marked Partial, covers exactly the completed
+// seeds, and the error is ctx's). The aggregate's bytes do not depend on
+// the worker count and match Stream's.
+func (e *Engine) Run(ctx context.Context, scenarioName string) (ScenarioAggregate, error) {
+	st, err := e.Stream(ctx, scenarioName)
+	if err != nil {
+		return ScenarioAggregate{}, err
+	}
+	return st.Wait()
+}
+
+// Stream starts the campaign and returns a Stream yielding per-seed
+// Results in completion order (resumed seeds first, in seed order). The
+// seed-order aggregate is folded incrementally as results arrive; call
+// Wait for it after (or instead of) consuming Results.
+func (e *Engine) Stream(ctx context.Context, scenarioName string) (*Stream, error) {
+	sc, ok := scenario.Lookup(scenarioName)
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown scenario %q (have: %s)",
+			scenarioName, strings.Join(scenario.Names(), ", "))
+	}
+	cfg := e.resolved()
+	if err := sc.AcceptsParams(cfg.params); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+
+	resumed := map[int64]scenario.Result{}
+	var resumeLen int64
+	if cfg.resume != "" {
+		var err error
+		resumed, resumeLen, err = loadCheckpoint(cfg.resume, cfg, sc.Name)
+		switch {
+		case err == nil:
+		case cfg.resume == cfg.checkpoint && errors.Is(err, fs.ErrNotExist):
+			// Fresh start of the append workflow (same path passed to
+			// WithResume and WithCheckpoint): nothing to resume yet, the
+			// checkpoint writer will create the file.
+			resumed, resumeLen = map[int64]scenario.Result{}, 0
+		default:
+			return nil, err
+		}
+	}
+	var ckpt *checkpointWriter
+	if cfg.checkpoint != "" {
+		var err error
+		if ckpt, err = openCheckpoint(cfg.checkpoint, cfg, sc.Name, resumed, resumeLen); err != nil {
+			return nil, err
+		}
+	}
+
+	st := &Stream{
+		results: make(chan scenario.Result, cfg.seeds),
+		done:    make(chan struct{}),
+	}
+	slots := make([]*scenario.Result, cfg.seeds)
+	var jobs []int
+	for i := 0; i < cfg.seeds; i++ {
+		if res, ok := resumed[cfg.baseSeed+int64(i)]; ok {
+			res := res
+			slots[i] = &res
+			st.results <- res
+		} else {
+			jobs = append(jobs, i)
+		}
+	}
+
+	var (
+		mu      sync.Mutex
+		done    = cfg.seeds - len(jobs)
+		ckptErr error
+	)
+	jobCh := make(chan int, len(jobs))
+	for _, i := range jobs {
+		jobCh <- i
+	}
+	close(jobCh)
+
+	workers := cfg.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobCh {
+				if ctx.Err() != nil {
+					continue // drain remaining jobs without running them
+				}
+				seed := cfg.baseSeed + int64(i)
+				res, err := sc.Run(ctx, seed, scenario.Config{Fast: cfg.fast, Params: cfg.params})
+				if err != nil {
+					if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+						continue // cancelled mid-run: not a completed seed
+					}
+					res.Err = err.Error()
+				}
+				res.Seed = seed
+				mu.Lock()
+				slots[i] = &res
+				done++
+				if cfg.progress != nil {
+					cfg.progress(done, cfg.seeds)
+				}
+				if ckpt != nil && ckptErr == nil {
+					ckptErr = ckpt.write(res)
+				}
+				mu.Unlock()
+				st.results <- res
+			}
+		}()
+	}
+
+	go func() {
+		wg.Wait()
+		close(st.results)
+		var results []scenario.Result
+		for _, r := range slots {
+			if r != nil {
+				results = append(results, *r)
+			}
+		}
+		st.agg = foldScenario(sc, results)
+		if len(results) < cfg.seeds {
+			st.agg.Partial = true
+			st.err = ctx.Err()
+		}
+		if ckpt != nil {
+			if err := ckpt.close(); err != nil && ckptErr == nil {
+				ckptErr = err
+			}
+			// A checkpoint I/O failure must surface even when the campaign
+			// was also cancelled — the resume hint would otherwise point at
+			// a file that recorded almost nothing.
+			switch {
+			case ckptErr == nil:
+			case st.err == nil:
+				st.err = ckptErr
+			default:
+				st.err = errors.Join(st.err, ckptErr)
+			}
+		}
+		close(st.done)
+	}()
+	return st, nil
+}
+
+// Stream is one running campaign: a channel of per-seed Results in
+// completion order plus the deterministic seed-order aggregate once all
+// workers have drained.
+type Stream struct {
+	results chan scenario.Result
+	done    chan struct{}
+	agg     ScenarioAggregate
+	err     error
+}
+
+// Results yields every completed seed's Result in completion order and is
+// closed once all workers have drained. The channel is buffered for the
+// whole campaign, so a caller that only wants the aggregate may ignore it
+// and call Wait directly.
+func (s *Stream) Results() <-chan scenario.Result { return s.results }
+
+// Wait blocks until every worker has drained (all seeds completed, or the
+// context cancelled) and returns the seed-order aggregate. After
+// cancellation the aggregate is marked Partial, covers exactly the
+// completed seeds, and the error is the context's; a checkpoint I/O
+// failure is also reported here.
+func (s *Stream) Wait() (ScenarioAggregate, error) {
+	<-s.done
+	return s.agg, s.err
+}

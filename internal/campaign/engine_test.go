@@ -1,0 +1,447 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dnstime/internal/core"
+	"dnstime/internal/ntpclient"
+	"dnstime/internal/scenario"
+)
+
+// Test doubles, registered once at init so the registry's content is the
+// same no matter which test runs first. Both behave as ordinary fast
+// deterministic scenarios unless a test flips their package-level knobs,
+// so registry-wide sweeps (TestRunScenarioDeterministicAcrossWorkers)
+// can include them safely.
+var (
+	// engineGateFrom makes t-eng-gate block every run with seed >= the
+	// stored value until its context is cancelled. Reset to MaxInt64
+	// (never block) after use.
+	engineGateFrom atomic.Int64
+	// engineRunCount counts every t-eng-gate run that actually executed
+	// (blocked runs included).
+	engineRunCount atomic.Int64
+)
+
+func init() {
+	engineGateFrom.Store(math.MaxInt64)
+	scenario.Register(scenario.Scenario{
+		Name:     "t-eng-gate",
+		Title:    "Engine-test gated scenario",
+		PaperRef: "§0",
+		Impl:     "campaign_test.gate",
+		CLI:      "none",
+		Order:    1000,
+		Run: func(ctx context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
+			engineRunCount.Add(1)
+			if seed >= engineGateFrom.Load() {
+				<-ctx.Done()
+				return scenario.Result{}, ctx.Err()
+			}
+			return scenario.Result{
+				Success: scenario.Bool(seed%2 == 0),
+				Metrics: map[string]float64{"echo": float64(2 * seed)},
+			}, nil
+		},
+	})
+	scenario.Register(scenario.Scenario{
+		Name:      "t-eng-echo",
+		Title:     "Engine-test echo scenario",
+		PaperRef:  "§0",
+		Impl:      "campaign_test.echo",
+		CLI:       "none",
+		ParamKeys: []string{"bias"},
+		Order:     1001,
+		Run: func(_ context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
+			bias, err := cfg.Params.Int("bias", 0)
+			if err != nil {
+				return scenario.Result{}, err
+			}
+			return scenario.Result{
+				Metrics: map[string]float64{"echo": float64(seed) + float64(bias)},
+			}, nil
+		},
+	})
+}
+
+// marshalAgg runs the engine and marshals the aggregate.
+func marshalAgg(t *testing.T, name string, opts ...Option) string {
+	t.Helper()
+	agg, err := NewEngine(opts...).Run(context.Background(), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestEngineMatchesRunScenario is the acceptance criterion: Engine.Run
+// and Engine.Stream produce byte-identical aggregates to the deprecated
+// RunScenario shim at any worker count.
+func TestEngineMatchesRunScenario(t *testing.T) {
+	for _, name := range []string{"boot", "table3", "chronosbound", "t-eng-gate"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			legacy, err := RunScenario(name, ScenarioOptions{Seeds: 4, Workers: 3, Fast: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := json.Marshal(legacy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 8} {
+				got := marshalAgg(t, name,
+					WithSeeds(4), WithWorkers(workers), WithFast(true))
+				if got != string(want) {
+					t.Errorf("Engine.Run (workers=%d) differs from RunScenario:\n%s\nvs\n%s",
+						workers, got, want)
+				}
+				st, err := NewEngine(WithSeeds(4), WithWorkers(workers), WithFast(true)).
+					Stream(context.Background(), name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				streamed := 0
+				for range st.Results() {
+					streamed++
+				}
+				agg, err := st.Wait()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if streamed != 4 {
+					t.Errorf("streamed %d results, want 4", streamed)
+				}
+				b, _ := json.Marshal(agg)
+				if string(b) != string(want) {
+					t.Errorf("Engine.Stream (workers=%d) differs from RunScenario:\n%s\nvs\n%s",
+						workers, b, want)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineBaseSeedZero is the zero-value regression: WithBaseSeed(0)
+// really runs seed 0 (the deprecated option structs treated 0 as unset,
+// making seed 0 impossible to request).
+func TestEngineBaseSeedZero(t *testing.T) {
+	agg, err := NewEngine(WithSeeds(3), WithBaseSeed(0)).Run(context.Background(), "t-eng-echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range agg.PerRun {
+		if r.Seed != int64(i) {
+			t.Fatalf("PerRun[%d].Seed = %d, want %d (base seed 0)", i, r.Seed, i)
+		}
+	}
+	if agg.Metrics[0].Min != 0 {
+		t.Errorf("echo metric min = %v, want 0 (seed 0 ran)", agg.Metrics[0].Min)
+	}
+	// Unset still defaults to 1.
+	agg, err = NewEngine(WithSeeds(2)).Run(context.Background(), "t-eng-echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.PerRun[0].Seed != 1 {
+		t.Errorf("default base seed = %d, want 1", agg.PerRun[0].Seed)
+	}
+}
+
+// TestEngineCancellation cancels a campaign after K of N seeds complete:
+// the workers must drain, the partial aggregate must cover exactly the
+// completed seeds, and no goroutines may leak.
+func TestEngineCancellation(t *testing.T) {
+	const (
+		seeds    = 8
+		baseSeed = 1
+		quick    = 3 // seeds 1..3 complete; every later seed blocks on ctx
+	)
+	engineGateFrom.Store(baseSeed + quick)
+	defer engineGateFrom.Store(math.MaxInt64)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st, err := NewEngine(WithSeeds(seeds), WithBaseSeed(baseSeed), WithWorkers(3)).
+		Stream(ctx, "t-eng-gate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for range st.Results() {
+		got++
+		if got == quick {
+			cancel() // unblocks the gated runs; workers drain
+		}
+	}
+	agg, werr := st.Wait()
+	if werr != context.Canceled {
+		t.Errorf("Wait error = %v, want context.Canceled", werr)
+	}
+	if !agg.Partial {
+		t.Error("cancelled aggregate not marked Partial")
+	}
+	if agg.Runs != quick || len(agg.PerRun) != quick {
+		t.Fatalf("partial aggregate has %d runs (%d per-run), want exactly %d",
+			agg.Runs, len(agg.PerRun), quick)
+	}
+	for i, r := range agg.PerRun {
+		if r.Seed != int64(baseSeed+i) {
+			t.Errorf("PerRun[%d].Seed = %d, want %d (completed seeds only, seed order)",
+				i, r.Seed, baseSeed+i)
+		}
+		if r.Err != "" {
+			t.Errorf("seed %d: cancelled run leaked into the aggregate as error %q", r.Seed, r.Err)
+		}
+	}
+	// Workers must be gone: Wait already joined them, and the goroutine
+	// count must return to its pre-campaign level (give the runtime a
+	// moment to reap).
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before campaign, %d after drain",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestEngineCheckpointResume is the resume acceptance criterion: a
+// campaign cancelled after K seeds and resumed from its checkpoint folds
+// into the byte-identical aggregate of an uninterrupted run, re-executing
+// only the missing seeds.
+func TestEngineCheckpointResume(t *testing.T) {
+	const seeds = 6
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	want := marshalAgg(t, "t-eng-gate", WithSeeds(seeds), WithWorkers(2))
+
+	// Interrupted first attempt: seeds 1..3 complete, later seeds block.
+	engineGateFrom.Store(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	st, err := NewEngine(
+		WithSeeds(seeds), WithWorkers(2), WithCheckpoint(path),
+	).Stream(ctx, "t-eng-gate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for range st.Results() {
+		if got++; got == 3 {
+			cancel()
+		}
+	}
+	if agg, err := st.Wait(); err != context.Canceled || agg.Runs != 3 {
+		t.Fatalf("interrupted run: %d runs, err %v", agg.Runs, err)
+	}
+	engineGateFrom.Store(math.MaxInt64)
+
+	// The checkpoint holds the header plus one line per completed seed.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(strings.TrimSpace(string(data)), "\n") + 1; lines != 1+3 {
+		t.Fatalf("checkpoint has %d lines, want header + 3 seeds:\n%s", lines, data)
+	}
+
+	// Resume: only the 3 missing seeds run; the aggregate is
+	// byte-identical to the uninterrupted campaign.
+	engineRunCount.Store(0)
+	resumed := marshalAgg(t, "t-eng-gate",
+		WithSeeds(seeds), WithWorkers(2), WithResume(path), WithCheckpoint(path))
+	if resumed != want {
+		t.Errorf("resumed aggregate differs from uninterrupted run:\n%s\nvs\n%s", resumed, want)
+	}
+	if n := engineRunCount.Load(); n != seeds-3 {
+		t.Errorf("resume executed %d runs, want %d (checkpointed seeds must be skipped)", n, seeds-3)
+	}
+
+	// The extended checkpoint now covers every seed: a second resume
+	// executes nothing and still folds the identical aggregate.
+	engineRunCount.Store(0)
+	again := marshalAgg(t, "t-eng-gate", WithSeeds(seeds), WithWorkers(2), WithResume(path))
+	if again != want {
+		t.Errorf("fully-checkpointed resume differs:\n%s\nvs\n%s", again, want)
+	}
+	if n := engineRunCount.Load(); n != 0 {
+		t.Errorf("fully-checkpointed resume executed %d runs, want 0", n)
+	}
+}
+
+// TestEngineResumeRejectsMismatch: a checkpoint can only seed the
+// campaign its header describes.
+func TestEngineResumeRejectsMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	if _, err := NewEngine(WithSeeds(2), WithCheckpoint(path)).
+		Run(context.Background(), "t-eng-echo"); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]Option{
+		"different scenario": {WithSeeds(2), WithResume(path)}, // resumed into t-eng-gate below
+		"different params":   {WithSeeds(2), WithResume(path), WithParam("bias", "7")},
+		"different fast":     {WithSeeds(2), WithResume(path), WithFast(true)},
+	}
+	for name, opts := range cases {
+		target := "t-eng-echo"
+		if name == "different scenario" {
+			target = "t-eng-gate"
+		}
+		if _, err := NewEngine(opts...).Run(context.Background(), target); err == nil {
+			t.Errorf("%s: incompatible checkpoint accepted", name)
+		}
+	}
+	if _, err := NewEngine(WithResume(filepath.Join(t.TempDir(), "missing.jsonl"))).
+		Run(context.Background(), "t-eng-echo"); err == nil {
+		t.Error("missing resume file accepted")
+	}
+}
+
+// TestEngineParams: overrides reach the runs, and unknown keys fail
+// before any run starts.
+func TestEngineParams(t *testing.T) {
+	agg, err := NewEngine(WithSeeds(2), WithBaseSeed(5), WithParam("bias", "100")).
+		Run(context.Background(), "t-eng-echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Metrics[0].Min != 105 || agg.Metrics[0].Max != 106 {
+		t.Errorf("echo with bias=100 over seeds 5,6 = [%v, %v], want [105, 106]",
+			agg.Metrics[0].Min, agg.Metrics[0].Max)
+	}
+	if _, err := NewEngine(WithParam("bais", "1")).Stream(context.Background(), "t-eng-echo"); err == nil {
+		t.Error("mistyped param key accepted")
+	}
+	if _, err := NewEngine(WithParam("client", "chrony")).Stream(context.Background(), "table4"); err == nil {
+		t.Error("param accepted by a scenario that declares none")
+	}
+}
+
+// TestEngineParameterisedAttack: the headline redesign goal — a
+// boot-time attack against any client profile at any target shift is an
+// ordinary parameterised campaign, and the deprecated Spec shim produces
+// the matching legacy aggregate.
+func TestEngineParameterisedAttack(t *testing.T) {
+	agg, err := NewEngine(
+		WithSeeds(4),
+		WithParam("client", "chrony"),
+		WithParam("offset", "-300s"),
+	).Run(context.Background(), "boot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Errors != 0 || agg.OutcomeRuns != 4 {
+		t.Fatalf("parameterised boot campaign: %+v", agg)
+	}
+	var offset *MetricSummary
+	for i := range agg.Metrics {
+		if agg.Metrics[i].Name == "offset_s" {
+			offset = &agg.Metrics[i]
+		}
+	}
+	if offset == nil || offset.Mean > -200 || offset.Mean < -400 {
+		t.Fatalf("offset_s summary %+v, want ≈ -300", offset)
+	}
+
+	legacy, err := Run(Spec{
+		Kind:    BootTime,
+		Profile: ntpclient.ProfileChrony,
+		Lab:     core.LabConfig{EvilOffset: -300 * time.Second},
+		Seeds:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Runs != 4 || legacy.Successes != agg.Successes {
+		t.Errorf("Spec shim: %d/%d successes, engine %d", legacy.Successes, legacy.Runs, agg.Successes)
+	}
+	for i, r := range legacy.PerRun {
+		if want := agg.PerRun[i].Metrics["offset_s"]; !closeTo(r.ClockOffset.Seconds(), want, 1e-6) {
+			t.Errorf("seed %d: shim offset %v, engine %v s", r.Seed, r.ClockOffset, want)
+		}
+	}
+}
+
+// TestEngineFreshStartWithResumeAndCheckpoint: pointing WithResume and
+// WithCheckpoint at the same (not yet existing) path is the documented
+// append workflow — the first run starts fresh instead of erroring, so
+// one invocation serves the initial run and every resumption.
+func TestEngineFreshStartWithResumeAndCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fresh.jsonl")
+	agg, err := NewEngine(
+		WithSeeds(2), WithResume(path), WithCheckpoint(path),
+	).Run(context.Background(), "t-eng-echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Runs != 2 || agg.Partial {
+		t.Fatalf("fresh start aggregate: %+v", agg)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint not created: %v", err)
+	}
+}
+
+// TestEngineResumeToleratesTornTail: a hard kill can tear the final
+// checkpoint line mid-write. The unterminated fragment must be ignored on
+// resume (it is the crash signature, not corruption), truncated away by
+// the same-path append workflow, and the completed campaign must still
+// fold the byte-identical aggregate.
+func TestEngineResumeToleratesTornTail(t *testing.T) {
+	const seeds = 4
+	path := filepath.Join(t.TempDir(), "torn.jsonl")
+	want := marshalAgg(t, "t-eng-echo", WithSeeds(seeds))
+
+	// Checkpoint seeds 1–2, then tear the tail as a crash would.
+	if _, err := NewEngine(WithSeeds(2), WithCheckpoint(path)).
+		Run(context.Background(), "t-eng-echo"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seed":3,"metr`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	engineRunCount.Store(0)
+	resumed := marshalAgg(t, "t-eng-echo",
+		WithSeeds(seeds), WithResume(path), WithCheckpoint(path))
+	if resumed != want {
+		t.Errorf("resume after torn tail differs from uninterrupted run:\n%s\nvs\n%s", resumed, want)
+	}
+	// The torn fragment is gone: the file re-parses cleanly end to end.
+	if _, err := NewEngine(WithSeeds(seeds), WithResume(path)).
+		Run(context.Background(), "t-eng-echo"); err != nil {
+		t.Errorf("checkpoint still corrupt after append: %v", err)
+	}
+	// A malformed line *inside* the terminated prefix is real corruption
+	// and must still be rejected.
+	if err := os.WriteFile(path, []byte("{\"v\":1,\"scenario\":\"t-eng-echo\",\"base_seed\":1,\"seeds\":4}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(WithSeeds(seeds), WithResume(path)).
+		Run(context.Background(), "t-eng-echo"); err == nil {
+		t.Error("terminated malformed line accepted")
+	}
+}

@@ -1,19 +1,24 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 
 	"dnstime/internal/scenario"
 	// Populate the scenario registry with every built-in experiment so
-	// RunScenario works for any caller of this package.
+	// the Engine works for any caller of this package.
 	_ "dnstime/internal/scenario/register"
 	"dnstime/internal/stats"
 )
 
 // ScenarioOptions sizes a campaign over a registered scenario.
+//
+// Deprecated: use NewEngine with Options — the Option API distinguishes
+// an unset base seed from an explicit seed 0, takes a context, and adds
+// streaming, params and checkpoint/resume. ScenarioOptions remains as a
+// thin shim over the Engine.
 type ScenarioOptions struct {
 	// Seeds is the number of independent seeds (default 16). Run i uses
 	// seed BaseSeed+i.
@@ -31,16 +36,20 @@ type ScenarioOptions struct {
 	Progress func(done, total int)
 }
 
-func (o *ScenarioOptions) applyDefaults() {
-	if o.Seeds <= 0 {
-		o.Seeds = 16
+// options lowers the deprecated struct onto the Engine's Option list,
+// preserving its documented zero-value defaults (BaseSeed 0 means 1 —
+// request seed 0 with WithBaseSeed(0) on the Engine instead).
+func (o ScenarioOptions) options() []Option {
+	opts := []Option{
+		WithSeeds(o.Seeds),
+		WithWorkers(o.Workers),
+		WithFast(o.Fast),
+		WithProgress(o.Progress),
 	}
-	if o.BaseSeed == 0 {
-		o.BaseSeed = 1
+	if o.BaseSeed != 0 {
+		opts = append(opts, WithBaseSeed(o.BaseSeed))
 	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
+	return opts
 }
 
 // MetricSummary aggregates one named metric across a campaign's clean
@@ -82,6 +91,11 @@ type ScenarioAggregate struct {
 	Metrics []MetricSummary `json:"metrics,omitempty"`
 	// PerRun lists every run in seed order.
 	PerRun []scenario.Result `json:"per_run,omitempty"`
+	// Partial marks an aggregate folded from a cancelled campaign: it
+	// covers exactly the seeds that completed before cancellation (the
+	// field is omitted from complete aggregates, whose bytes therefore
+	// stay identical to pre-Engine output).
+	Partial bool `json:"partial,omitempty"`
 }
 
 // String renders the aggregate as one human-readable line.
@@ -91,8 +105,12 @@ func (a ScenarioAggregate) String() string {
 		outcome = fmt.Sprintf(", %d/%d succeeded (%.1f%%, 95%% CI %.1f–%.1f%%)",
 			a.Successes, a.OutcomeRuns, a.SuccessRate, a.SuccessCI.Lo, a.SuccessCI.Hi)
 	}
-	return fmt.Sprintf("%s: %d runs%s, %d metrics, errors %d",
-		a.Scenario, a.Runs, outcome, len(a.Metrics), a.Errors)
+	partial := ""
+	if a.Partial {
+		partial = " [partial: cancelled mid-campaign]"
+	}
+	return fmt.Sprintf("%s: %d runs%s, %d metrics, errors %d%s",
+		a.Scenario, a.Runs, outcome, len(a.Metrics), a.Errors, partial)
 }
 
 // Render draws the aggregate as a per-metric table in the style of the
@@ -119,24 +137,12 @@ func (a ScenarioAggregate) Render() string {
 // RunScenario executes a campaign over the named registered scenario:
 // Seeds independent runs on Workers workers, folded into a
 // ScenarioAggregate whose contents do not depend on the worker count.
+//
+// Deprecated: use NewEngine(...).Run(ctx, name) — this shim runs the
+// Engine under context.Background(), so it cannot be cancelled, streamed,
+// parameterised or checkpointed.
 func RunScenario(name string, opts ScenarioOptions) (ScenarioAggregate, error) {
-	sc, ok := scenario.Lookup(name)
-	if !ok {
-		return ScenarioAggregate{}, fmt.Errorf(
-			"campaign: unknown scenario %q (have: %s)", name, strings.Join(scenario.Names(), ", "))
-	}
-	opts.applyDefaults()
-	results := make([]scenario.Result, opts.Seeds)
-	runPool(opts.Seeds, opts.Workers, opts.Progress, func(i int) {
-		seed := opts.BaseSeed + int64(i)
-		res, err := sc.Run(seed, scenario.Config{Fast: opts.Fast})
-		res.Seed = seed
-		if err != nil {
-			res.Err = err.Error()
-		}
-		results[i] = res
-	})
-	return foldScenario(sc, results), nil
+	return NewEngine(opts.options()...).Run(context.Background(), name)
 }
 
 // foldScenario merges per-run results (already in seed order) into a

@@ -8,6 +8,18 @@ import (
 	"dnstime/internal/scenario"
 )
 
+// builtinScenarios returns every registered scenario except the "t-"
+// doubles this package's engine tests register.
+func builtinScenarios() []scenario.Scenario {
+	var out []scenario.Scenario
+	for _, s := range scenario.All() {
+		if !strings.HasPrefix(s.Name, "t-") {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // TestScenarioRegistryComplete locks the catalogue the campaign engine
 // fans out: every experiment of DESIGN.md §4 must be registered.
 func TestScenarioRegistryComplete(t *testing.T) {
@@ -17,8 +29,8 @@ func TestScenarioRegistryComplete(t *testing.T) {
 		"table5", "shared", "fig7",
 	}
 	names := map[string]bool{}
-	for _, n := range scenario.Names() {
-		names[n] = true
+	for _, s := range builtinScenarios() {
+		names[s.Name] = true
 	}
 	for _, n := range want {
 		if !names[n] {
@@ -27,6 +39,39 @@ func TestScenarioRegistryComplete(t *testing.T) {
 	}
 	if len(names) != len(want) {
 		t.Errorf("registry has %d scenarios, want %d: %s", len(names), len(want), strings.Join(scenario.Names(), ", "))
+	}
+}
+
+// TestScenarioRegistryHygiene: every built-in registration carries the
+// full identification surface (no blank DESIGN.md §4 cells), a name the
+// comma-separated CLI can select, a unique index position, and a
+// well-formed param surface (override keys must not collide with the
+// reserved Result fields and must be CLI-expressible).
+func TestScenarioRegistryHygiene(t *testing.T) {
+	orders := map[int]string{}
+	for _, s := range builtinScenarios() {
+		if s.Title == "" || s.Impl == "" || s.PaperRef == "" || s.CLI == "" {
+			t.Errorf("%s: blank identification cell (Title=%q Impl=%q PaperRef=%q CLI=%q)",
+				s.Name, s.Title, s.Impl, s.PaperRef, s.CLI)
+		}
+		if strings.ContainsAny(s.Name, ", |") {
+			t.Errorf("%s: name not selectable via -only", s.Name)
+		}
+		if prev, dup := orders[s.Order]; dup {
+			t.Errorf("%s: Order %d already used by %s (the §4 index position must be unique)",
+				s.Name, s.Order, prev)
+		}
+		orders[s.Order] = s.Name
+		seen := map[string]bool{}
+		for _, k := range s.ParamKeys {
+			if k == "" || strings.ContainsAny(k, "= ,") {
+				t.Errorf("%s: param key %q not expressible as -param k=v", s.Name, k)
+			}
+			if seen[k] {
+				t.Errorf("%s: duplicate param key %q", s.Name, k)
+			}
+			seen[k] = true
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package chronos
 
 import (
+	"context"
 	"fmt"
 
 	"dnstime/internal/scenario"
@@ -25,7 +26,7 @@ func init() {
 // boundScenario sweeps the tolerable-N bound across the response
 // capacities of DESIGN.md §5's ablation (the paper's headline cell is
 // spoofed=89 → N ≤ 11). Closed form, so seed-independent.
-func boundScenario(int64, scenario.Config) (scenario.Result, error) {
+func boundScenario(context.Context, int64, scenario.Config) (scenario.Result, error) {
 	metrics := make(map[string]float64, 4)
 	for _, spoofed := range []int{20, 45, 89, 120} {
 		metrics[fmt.Sprintf("max_n/spoofed=%d", spoofed)] = float64(AttackBound(4, spoofed))

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"dnstime/internal/ntpclient"
+	"dnstime/internal/scenario"
 )
 
 func TestPoisonResolverEndToEnd(t *testing.T) {
@@ -207,5 +209,24 @@ func TestCampaignLowVolume(t *testing.T) {
 	}
 	if lab.Eve.InjectedPackets > 6*25 {
 		t.Errorf("attack volume = %d packets per TTL window, want ≈≤150", lab.Eve.InjectedPackets)
+	}
+}
+
+// TestScenarioParamsRejectNegativeSizes: negative sizing params must fail
+// the run instead of wrapping (pool_ttl_s through uint32) or flowing a
+// nonsensical lab into the simulation.
+func TestScenarioParamsRejectNegativeSizes(t *testing.T) {
+	for _, p := range []scenario.Params{
+		{"pool_ttl_s": "-1"},
+		{"honest_servers": "-3"},
+		{"evil_servers": "-2"},
+		{"pad_b": "-9"},
+	} {
+		if _, err := scenario.Run(context.Background(), "boot", 1, scenario.Config{Params: p}); err == nil {
+			t.Errorf("params %v accepted", p)
+		}
+	}
+	if _, err := scenario.Run(context.Background(), "chronos", 1, scenario.Config{Params: scenario.Params{"N": "-1"}}); err == nil {
+		t.Error("negative chronos N accepted")
 	}
 }

@@ -1,38 +1,106 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dnstime/internal/ntpclient"
 	"dnstime/internal/scenario"
 )
 
+// labParamKeys are the LabConfig knobs every attack scenario accepts as
+// campaign params (`experiments campaigns -param key=value`). Each maps
+// onto one LabConfig field; absent params keep the lab defaults.
+var labParamKeys = []string{
+	"offset", "honest_servers", "evil_servers", "pad_b", "pool_ttl_s",
+	"ratelimit", "dnssec",
+}
+
+// sizeParam reads a non-negative integer sizing param (0 keeps the lab
+// default). Negative values are rejected here rather than flowing into
+// LabConfig, whose applyDefaults only corrects the zero value — and a
+// negative pool_ttl_s would otherwise wrap to a huge uint32 TTL.
+func sizeParam(p scenario.Params, key string) (int, error) {
+	n, err := p.Int(key, 0)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("core: param %s=%d must not be negative", key, n)
+	}
+	return n, nil
+}
+
+// labFromParams builds the per-run LabConfig from the generic scenario
+// params, seeding it for the run.
+func labFromParams(seed int64, p scenario.Params) (LabConfig, error) {
+	cfg := LabConfig{Seed: seed}
+	var err error
+	if cfg.EvilOffset, err = p.Duration("offset", 0); err != nil {
+		return cfg, err
+	}
+	if cfg.HonestServers, err = sizeParam(p, "honest_servers"); err != nil {
+		return cfg, err
+	}
+	if cfg.EvilServers, err = sizeParam(p, "evil_servers"); err != nil {
+		return cfg, err
+	}
+	if cfg.PadResponses, err = sizeParam(p, "pad_b"); err != nil {
+		return cfg, err
+	}
+	ttl, err := sizeParam(p, "pool_ttl_s")
+	if err != nil {
+		return cfg, err
+	}
+	cfg.PoolTTL = uint32(ttl)
+	if _, ok := p["ratelimit"]; ok {
+		rl, err := p.Bool("ratelimit", true)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.RateLimitHonest = &rl
+	}
+	if cfg.ResolverValidatesDNSSEC, err = p.Bool("dnssec", false); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// clientFromParams resolves the "client" param against the Table I
+// profiles, defaulting to the paper's headline ntpd profile.
+func clientFromParams(p scenario.Params) (ntpclient.Profile, error) {
+	return ntpclient.ProfileByName(p.Str("client", "ntpd"))
+}
+
 // The end-to-end attack experiments register themselves with the scenario
 // registry (see internal/scenario): the headline boot-time, run-time and
 // Chronos attacks plus the Table I and Table II matrices, all at the
-// paper's default parameters. Profile- or scenario-specific variants stay
-// available through the typed runners (RunBootTimeAttack, …) and the
-// campaign.Spec engine.
+// paper's default parameters. The attack scenarios are parameterisable
+// (ParamKeys): any client profile, run-time scenario, target shift or lab
+// sizing is an ordinary parameterised campaign, which is also how the
+// deprecated campaign.Spec shim executes.
 func init() {
 	scenario.Register(scenario.Scenario{
-		Name:     "boot",
-		Title:    "Boot-time attack",
-		PaperRef: "§IV-A, Fig. 2",
-		Impl:     "core.RunBootTimeAttack",
-		CLI:      "ntpattack -mode boot",
-		Params:   map[string]string{"client": "ntpd"},
-		Order:    10,
-		Run:      bootScenario,
+		Name:      "boot",
+		Title:     "Boot-time attack",
+		PaperRef:  "§IV-A, Fig. 2",
+		Impl:      "core.RunBootTimeAttack",
+		CLI:       "ntpattack -mode boot",
+		Params:    map[string]string{"client": "ntpd"},
+		ParamKeys: append([]string{"client"}, labParamKeys...),
+		Order:     10,
+		Run:       bootScenario,
 	})
 	scenario.Register(scenario.Scenario{
-		Name:     "runtime",
-		Title:    "Run-time attack",
-		PaperRef: "§IV-B, Fig. 3",
-		Impl:     "core.RunRuntimeAttack",
-		CLI:      "ntpattack -mode runtime",
-		Params:   map[string]string{"client": "ntpd", "scenario": "P1"},
-		Order:    20,
-		Run:      runtimeScenario,
+		Name:      "runtime",
+		Title:     "Run-time attack",
+		PaperRef:  "§IV-B, Fig. 3",
+		Impl:      "core.RunRuntimeAttack",
+		CLI:       "ntpattack -mode runtime",
+		Params:    map[string]string{"client": "ntpd", "scenario": "P1"},
+		ParamKeys: append([]string{"client", "scenario"}, labParamKeys...),
+		Order:     20,
+		Run:       runtimeScenario,
 	})
 	scenario.Register(scenario.Scenario{
 		Name:     "table1",
@@ -55,21 +123,30 @@ func init() {
 		Run:      tableIIScenario,
 	})
 	scenario.Register(scenario.Scenario{
-		Name:     "chronos",
-		Title:    "Chronos pool-poisoning attack",
-		PaperRef: "§VI-C, Fig. 4",
-		Impl:     "core.RunChronosAttack",
-		CLI:      "ntpattack -mode chronos",
-		Params:   map[string]string{"N": "5", "spoofed": "89"},
-		Order:    60,
-		Run:      chronosScenario,
+		Name:      "chronos",
+		Title:     "Chronos pool-poisoning attack",
+		PaperRef:  "§VI-C, Fig. 4",
+		Impl:      "core.RunChronosAttack",
+		CLI:       "ntpattack -mode chronos",
+		Params:    map[string]string{"N": "5", "spoofed": "89"},
+		ParamKeys: append([]string{"N", "spoofed"}, labParamKeys...),
+		Order:     60,
+		Run:       chronosScenario,
 	})
 }
 
-// bootScenario runs the §IV-A attack against the paper's headline ntpd
-// profile.
-func bootScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
-	res, err := RunBootTimeAttack(ntpclient.ProfileNTPd, LabConfig{Seed: seed})
+// bootScenario runs the §IV-A attack — by default against the paper's
+// headline ntpd profile; params select any client profile and lab sizing.
+func bootScenario(_ context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
+	prof, err := clientFromParams(cfg.Params)
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	lab, err := labFromParams(seed, cfg.Params)
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	res, err := RunBootTimeAttack(prof, lab)
 	if err != nil {
 		return scenario.Result{}, err
 	}
@@ -82,9 +159,26 @@ func bootScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
 	}, nil
 }
 
-// runtimeScenario runs the §IV-B attack against ntpd under Scenario P1.
-func runtimeScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
-	res, err := RunRuntimeAttack(ntpclient.ProfileNTPd, ScenarioP1, LabConfig{Seed: seed})
+// runtimeScenario runs the §IV-B attack — by default against ntpd under
+// Scenario P1; params select the client profile, P1/P2 and lab sizing.
+func runtimeScenario(_ context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
+	prof, err := clientFromParams(cfg.Params)
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	rs := ScenarioP1
+	switch name := cfg.Params.Str("scenario", "P1"); name {
+	case "P1", "p1":
+	case "P2", "p2":
+		rs = ScenarioP2
+	default:
+		return scenario.Result{}, fmt.Errorf("core: unknown run-time scenario %q (want P1 or P2)", name)
+	}
+	lab, err := labFromParams(seed, cfg.Params)
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	res, err := RunRuntimeAttack(prof, rs, lab)
 	if err != nil {
 		return scenario.Result{}, err
 	}
@@ -102,7 +196,7 @@ func runtimeScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
 // attack against all seven client profiles. Per-client outcomes are keyed
 // by profile name so a campaign over this scenario aggregates into the
 // per-client Table I rows (see campaign.TableI).
-func tableIScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
+func tableIScenario(_ context.Context, seed int64, _ scenario.Config) (scenario.Result, error) {
 	metrics := make(map[string]float64, 3*len(ntpclient.AllProfiles()))
 	allShifted := true
 	for _, pu := range ntpclient.AllProfiles() {
@@ -125,7 +219,7 @@ func tableIScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
 
 // tableIIScenario runs one seed's four Table II run-time attack duration
 // experiments.
-func tableIIScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
+func tableIIScenario(_ context.Context, seed int64, _ scenario.Config) (scenario.Result, error) {
 	rows, err := TableII(LabConfig{Seed: seed})
 	if err != nil {
 		return scenario.Result{}, err
@@ -137,10 +231,26 @@ func tableIIScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
 	return scenario.Result{Success: scenario.Bool(true), Metrics: metrics}, nil
 }
 
-// chronosScenario runs the §VI-C attack with the paper's parameters:
-// poisoning lands after N=5 honest pool queries, 89 spoofed addresses.
-func chronosScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
-	res, err := RunChronosAttack(5, 89, LabConfig{Seed: seed})
+// chronosScenario runs the §VI-C attack — by default with the paper's
+// parameters (poisoning lands after N=5 honest pool queries, 89 spoofed
+// addresses); params select N, spoofed and lab sizing.
+func chronosScenario(_ context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
+	n, err := cfg.Params.Int("N", 5)
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	spoofed, err := cfg.Params.Int("spoofed", 89)
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	if n < 0 || spoofed < 0 {
+		return scenario.Result{}, fmt.Errorf("core: chronos params N=%d spoofed=%d must not be negative", n, spoofed)
+	}
+	lab, err := labFromParams(seed, cfg.Params)
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	res, err := RunChronosAttack(n, spoofed, lab)
 	if err != nil {
 		return scenario.Result{}, err
 	}

@@ -1,6 +1,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 
 	"dnstime/internal/population"
@@ -99,7 +100,7 @@ func init() {
 
 // rateLimitScenario runs the §VII-A live scan (2432 servers; 300 in fast
 // mode, matching `experiments -fast`).
-func rateLimitScenario(seed int64, cfg scenario.Config) (scenario.Result, error) {
+func rateLimitScenario(_ context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
 	pool := population.DefaultPoolConfig()
 	if cfg.Fast {
 		pool.Servers = 300
@@ -121,7 +122,7 @@ func rateLimitScenario(seed int64, cfg scenario.Config) (scenario.Result, error)
 }
 
 // nsFragScenario runs the §VII-B pool-nameserver scan.
-func nsFragScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
+func nsFragScenario(_ context.Context, seed int64, _ scenario.Config) (scenario.Result, error) {
 	specs := population.GeneratePoolNameservers(population.DefaultPoolNameserverConfig(), seed+3)
 	res := FragScan(specs, nil)
 	return scenario.Result{
@@ -135,7 +136,7 @@ func nsFragScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
 
 // fig5Scenario evaluates the Figure 5 CDF over the 1M-domain nameserver
 // population (10k domains in fast mode).
-func fig5Scenario(seed int64, cfg scenario.Config) (scenario.Result, error) {
+func fig5Scenario(_ context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
 	popCfg := population.DefaultDomainNameserverConfig()
 	if cfg.Fast {
 		popCfg.Total = 10000
@@ -161,7 +162,7 @@ func snoopPopulation(seed int64, cfg scenario.Config) []population.OpenResolverS
 
 // tableIVScenario snoops the open-resolver population for the Table IV
 // cached-record percentages.
-func tableIVScenario(seed int64, cfg scenario.Config) (scenario.Result, error) {
+func tableIVScenario(_ context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
 	res := CacheSnoop(snoopPopulation(seed, cfg))
 	metrics := map[string]float64{
 		"probed":   float64(res.Probed),
@@ -176,7 +177,7 @@ func tableIVScenario(seed int64, cfg scenario.Config) (scenario.Result, error) {
 
 // fig6Scenario reads the remaining-TTL distribution back from the same
 // snooped population as table4.
-func fig6Scenario(seed int64, cfg scenario.Config) (scenario.Result, error) {
+func fig6Scenario(_ context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
 	res := CacheSnoop(snoopPopulation(seed, cfg))
 	h := res.TTLHistogram()
 	return scenario.Result{
@@ -189,7 +190,7 @@ func fig6Scenario(seed int64, cfg scenario.Config) (scenario.Result, error) {
 }
 
 // tableVScenario runs the §VIII-B2 ad-network client study.
-func tableVScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
+func tableVScenario(_ context.Context, seed int64, _ scenario.Config) (scenario.Result, error) {
 	clients := population.GenerateAdClients(population.DefaultAdStudyConfig(), seed+9)
 	res := AdStudy(clients)
 	metrics := map[string]float64{
@@ -207,7 +208,7 @@ func tableVScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
 }
 
 // sharedScenario classifies the §VIII-B3 shared-resolver topology.
-func sharedScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
+func sharedScenario(_ context.Context, seed int64, _ scenario.Config) (scenario.Result, error) {
 	res := SharedResolverStudy(population.GenerateSharedResolvers(population.DefaultSharedResolverConfig(), seed+21))
 	return scenario.Result{
 		Metrics: map[string]float64{
@@ -224,7 +225,7 @@ func sharedScenario(seed int64, _ scenario.Config) (scenario.Result, error) {
 
 // fig7Scenario draws the Figure 7 latency-difference distribution (2000
 // resolvers in fast mode).
-func fig7Scenario(seed int64, cfg scenario.Config) (scenario.Result, error) {
+func fig7Scenario(_ context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
 	probeCfg := population.DefaultTimingProbeConfig()
 	if cfg.Fast {
 		probeCfg.Resolvers = 2000

@@ -446,3 +446,26 @@ func floodServer(l *lab, srv *ntpserv.Server, victim ipv4.Addr) {
 	tk := l.clk.Tick(20*time.Second, inject)
 	l.clk.Schedule(3*time.Hour, tk.Stop)
 }
+
+// TestProfileByName: every Table I profile resolves under its CLI
+// spelling, case-insensitively; unknown names are rejected.
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"ntpd", "chrony", "openntpd", "ntpdate", "android", "ntpclient", "systemd", "systemd-timesyncd", "NTPd", "Chrony"} {
+		if _, err := ProfileByName(name); err != nil {
+			t.Errorf("ProfileByName(%q): %v", name, err)
+		}
+	}
+	// Round trip: every registered profile's own Name resolves back to
+	// the identical profile (the campaign Spec shim depends on this).
+	for _, pu := range AllProfiles() {
+		got, err := ProfileByName(pu.Profile.Name)
+		if err != nil {
+			t.Errorf("ProfileByName(%q): %v", pu.Profile.Name, err)
+		} else if got != pu.Profile {
+			t.Errorf("ProfileByName(%q) returned a different profile", pu.Profile.Name)
+		}
+	}
+	if _, err := ProfileByName("sundial"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}

@@ -1,6 +1,10 @@
 package ntpclient
 
-import "time"
+import (
+	"fmt"
+	"strings"
+	"time"
+)
 
 // Profile captures the DNS-lookup and association-management behaviour of
 // one NTP client implementation — the parameters Table I and Table II of
@@ -140,4 +144,29 @@ func AllProfiles() []ProfileUsage {
 type ProfileUsage struct {
 	Profile  Profile
 	UsagePct float64
+}
+
+// ProfileByName resolves a client-profile name as the CLIs and
+// parameterised scenarios spell it (case-insensitive: "ntpd", "chrony",
+// "openntpd", "ntpdate", "android", "ntpclient", "systemd" or
+// "systemd-timesyncd").
+func ProfileByName(name string) (Profile, error) {
+	switch strings.ToLower(name) {
+	case "ntpd":
+		return ProfileNTPd, nil
+	case "chrony":
+		return ProfileChrony, nil
+	case "openntpd":
+		return ProfileOpenNTPD, nil
+	case "ntpdate":
+		return ProfileNtpdate, nil
+	case "android":
+		return ProfileAndroid, nil
+	case "ntpclient":
+		return ProfileNtpclient, nil
+	case "systemd", "systemd-timesyncd":
+		return ProfileSystemd, nil
+	default:
+		return Profile{}, fmt.Errorf("ntpclient: unknown client profile %q", name)
+	}
 }

@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Params parameterises a scenario variant: free-form "key=value" pairs a
+// caller passes through Config.Params to override a parameterisable
+// scenario's defaults (client profile, target shift, population knobs).
+// Which keys a scenario accepts is declared by Scenario.ParamKeys; the
+// campaign engine rejects unknown keys before any run starts, so a typo
+// can never be silently ignored.
+type Params map[string]string
+
+// ParseParams parses "key=value" pairs (as collected from repeated CLI
+// -param flags) into a Params map. Keys must be non-empty and unique.
+func ParseParams(pairs []string) (Params, error) {
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	p := make(Params, len(pairs))
+	for _, pair := range pairs {
+		k, v, ok := strings.Cut(pair, "=")
+		k = strings.TrimSpace(k)
+		if !ok || k == "" {
+			return nil, fmt.Errorf("scenario: bad param %q (want key=value)", pair)
+		}
+		if _, dup := p[k]; dup {
+			return nil, fmt.Errorf("scenario: duplicate param %q", k)
+		}
+		p[k] = v
+	}
+	return p, nil
+}
+
+// String renders the params as space-separated "k=v" pairs in key order
+// ("" when empty), the inverse of ParseParams up to ordering.
+func (p Params) String() string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pairs := make([]string, len(keys))
+	for i, k := range keys {
+		pairs[i] = k + "=" + p[k]
+	}
+	return strings.Join(pairs, " ")
+}
+
+// Str returns the parameter under key, or def when absent.
+func (p Params) Str(key, def string) string {
+	if v, ok := p[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Int returns the integer parameter under key, or def when absent.
+func (p Params) Int(key string, def int) (int, error) {
+	v, ok := p[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: param %s=%q is not an integer", key, v)
+	}
+	return n, nil
+}
+
+// Bool returns the boolean parameter under key, or def when absent.
+func (p Params) Bool(key string, def bool) (bool, error) {
+	v, ok := p[key]
+	if !ok {
+		return def, nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, fmt.Errorf("scenario: param %s=%q is not a boolean", key, v)
+	}
+	return b, nil
+}
+
+// Duration returns the duration parameter under key (Go syntax, e.g.
+// "-300s" or "5m"), or def when absent.
+func (p Params) Duration(key string, def time.Duration) (time.Duration, error) {
+	v, ok := p[key]
+	if !ok {
+		return def, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: param %s=%q is not a duration", key, v)
+	}
+	return d, nil
+}

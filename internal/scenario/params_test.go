@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseParams(t *testing.T) {
+	p, err := ParseParams([]string{"client=chrony", "offset=-300s", "empty="})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p["client"] != "chrony" || p["offset"] != "-300s" || p["empty"] != "" {
+		t.Errorf("parsed params = %v", p)
+	}
+	if got := p.String(); got != "client=chrony empty= offset=-300s" {
+		t.Errorf("String() = %q, want key-sorted pairs", got)
+	}
+	if p, err := ParseParams(nil); err != nil || p != nil {
+		t.Errorf("ParseParams(nil) = %v, %v", p, err)
+	}
+	for _, bad := range [][]string{{"novalue"}, {"=x"}, {"a=1", "a=2"}} {
+		if _, err := ParseParams(bad); err == nil {
+			t.Errorf("ParseParams(%v) accepted", bad)
+		}
+	}
+}
+
+func TestParamsTypedGetters(t *testing.T) {
+	p := Params{"n": "7", "on": "true", "d": "-300s", "s": "chrony"}
+	if v := p.Str("s", "x"); v != "chrony" {
+		t.Errorf("Str = %q", v)
+	}
+	if v := p.Str("missing", "x"); v != "x" {
+		t.Errorf("Str default = %q", v)
+	}
+	if n, err := p.Int("n", 1); err != nil || n != 7 {
+		t.Errorf("Int = %d, %v", n, err)
+	}
+	if n, err := p.Int("missing", 42); err != nil || n != 42 {
+		t.Errorf("Int default = %d, %v", n, err)
+	}
+	if b, err := p.Bool("on", false); err != nil || !b {
+		t.Errorf("Bool = %t, %v", b, err)
+	}
+	if d, err := p.Duration("d", 0); err != nil || d != -300*time.Second {
+		t.Errorf("Duration = %v, %v", d, err)
+	}
+	if d, err := p.Duration("missing", time.Minute); err != nil || d != time.Minute {
+		t.Errorf("Duration default = %v, %v", d, err)
+	}
+	bad := Params{"n": "x", "on": "maybe", "d": "300"}
+	if _, err := bad.Int("n", 0); err == nil {
+		t.Error("bad int accepted")
+	}
+	if _, err := bad.Bool("on", false); err == nil {
+		t.Error("bad bool accepted")
+	}
+	if _, err := bad.Duration("d", 0); err == nil {
+		t.Error("unitless duration accepted")
+	}
+}
+
+func TestAcceptsParams(t *testing.T) {
+	s := Scenario{Name: "x", ParamKeys: []string{"client", "offset"}}
+	if err := s.AcceptsParams(nil); err != nil {
+		t.Errorf("nil params rejected: %v", err)
+	}
+	if err := s.AcceptsParams(Params{"client": "ntpd", "offset": "-1s"}); err != nil {
+		t.Errorf("declared params rejected: %v", err)
+	}
+	if err := s.AcceptsParams(Params{"clinet": "ntpd"}); err == nil {
+		t.Error("mistyped key accepted")
+	}
+	none := Scenario{Name: "y"}
+	if err := none.AcceptsParams(Params{"client": "ntpd"}); err == nil {
+		t.Error("param accepted by scenario with no ParamKeys")
+	}
+}

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,6 +16,11 @@ type Config struct {
 	// size. Results remain deterministic per seed but no longer match the
 	// paper-scale numbers in EXPERIMENTS.md.
 	Fast bool
+	// Params overrides a parameterisable scenario's defaults (keys from
+	// Scenario.ParamKeys — client profile, target shift, attack knobs).
+	// Determinism extends to params: the same (seed, cfg) including Params
+	// must produce the identical Result.
+	Params Params
 }
 
 // Result is the outcome of one seeded scenario run. It is the uniform
@@ -59,13 +65,48 @@ type Scenario struct {
 	// Params documents the fixed parameters baked into this registration
 	// (client profile, attack scenario, population size …).
 	Params map[string]string
+	// ParamKeys lists the Config.Params keys a run accepts as overrides
+	// (nil: the scenario takes none). The campaign engine validates
+	// requested params against this list before any run starts, so a
+	// mistyped key fails fast instead of being silently ignored.
+	ParamKeys []string
 	// Order positions the scenario in the DESIGN.md §4 index (paper
 	// order). All() sorts by Order, then Name.
 	Order int
 	// Run executes the experiment once at the given seed. It must be
 	// deterministic in (seed, cfg) and share no mutable state with
 	// concurrent runs (see the package comment for the full contract).
-	Run func(seed int64, cfg Config) (Result, error)
+	// ctx is advisory: a run that observes cancellation may return
+	// ctx.Err(), and the campaign engine drops such runs from aggregates
+	// and checkpoints so cancellation never perturbs deterministic output.
+	Run func(ctx context.Context, seed int64, cfg Config) (Result, error)
+}
+
+// AcceptsParams checks every key of p against the scenario's declared
+// ParamKeys, reporting the first unknown key as an error.
+func (s Scenario) AcceptsParams(p Params) error {
+	if len(p) == 0 {
+		return nil
+	}
+	accepted := make(map[string]bool, len(s.ParamKeys))
+	for _, k := range s.ParamKeys {
+		accepted[k] = true
+	}
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !accepted[k] {
+			if len(s.ParamKeys) == 0 {
+				return fmt.Errorf("scenario: %s takes no params (got %s=%s)", s.Name, k, p[k])
+			}
+			return fmt.Errorf("scenario: %s does not accept param %q (accepts: %s)",
+				s.Name, k, strings.Join(s.ParamKeys, ", "))
+		}
+	}
+	return nil
 }
 
 // registry is the global scenario catalogue, populated by package init
@@ -76,12 +117,23 @@ var registry = struct {
 	byName map[string]Scenario
 }{byName: map[string]Scenario{}}
 
-// Register adds a scenario to the catalogue. It panics on an empty name,
-// a nil Run, or a duplicate name: registration happens at init time, and
-// a malformed catalogue is a programming error, not a runtime condition.
+// Register adds a scenario to the catalogue. It panics on an empty name
+// (or one the comma-separated CLI could not select), an empty Title or
+// Impl (which would render blank cells in the DESIGN.md §4 index), a nil
+// Run, or a duplicate name: registration happens at init time, and a
+// malformed catalogue is a programming error, not a runtime condition.
 func Register(s Scenario) {
 	if s.Name == "" {
 		panic("scenario: Register with empty Name")
+	}
+	if strings.ContainsAny(s.Name, ", \t\n|") {
+		panic(fmt.Sprintf("scenario: Register(%q): name must be selectable by `-only a,b,...`", s.Name))
+	}
+	if s.Title == "" {
+		panic(fmt.Sprintf("scenario: Register(%q) with empty Title", s.Name))
+	}
+	if s.Impl == "" {
+		panic(fmt.Sprintf("scenario: Register(%q) with empty Impl", s.Name))
 	}
 	if s.Run == nil {
 		panic(fmt.Sprintf("scenario: Register(%q) with nil Run", s.Name))
@@ -131,14 +183,18 @@ func Names() []string {
 }
 
 // Run looks up name and executes it once at the given seed, stamping the
-// seed into the result.
-func Run(name string, seed int64, cfg Config) (Result, error) {
+// seed into the result. cfg.Params are validated against the scenario's
+// ParamKeys before the run starts.
+func Run(ctx context.Context, name string, seed int64, cfg Config) (Result, error) {
 	s, ok := Lookup(name)
 	if !ok {
 		return Result{}, fmt.Errorf("scenario: unknown scenario %q (have: %s)",
 			name, strings.Join(Names(), ", "))
 	}
-	res, err := s.Run(seed, cfg)
+	if err := s.AcceptsParams(cfg.Params); err != nil {
+		return Result{}, err
+	}
+	res, err := s.Run(ctx, seed, cfg)
 	res.Seed = seed
 	return res, err
 }

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -17,7 +18,7 @@ func fake(t *testing.T, name string, order int) Scenario {
 		CLI:      "experiments campaigns -only " + name,
 		Params:   map[string]string{"b": "2", "a": "1"},
 		Order:    order,
-		Run: func(seed int64, cfg Config) (Result, error) {
+		Run: func(_ context.Context, seed int64, cfg Config) (Result, error) {
 			return Result{
 				Success: Bool(true),
 				Metrics: map[string]float64{"seed_echo": float64(seed)},
@@ -35,7 +36,7 @@ func TestRegisterAndRun(t *testing.T) {
 	if _, ok := Lookup("t-alpha"); !ok {
 		t.Fatal("registered scenario not found")
 	}
-	res, err := Run("t-alpha", 7, Config{})
+	res, err := Run(context.Background(), "t-alpha", 7, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,8 +52,27 @@ func TestRegisterAndRun(t *testing.T) {
 }
 
 func TestRunUnknown(t *testing.T) {
-	if _, err := Run("no-such-scenario", 1, Config{}); err == nil {
+	if _, err := Run(context.Background(), "no-such-scenario", 1, Config{}); err == nil {
 		t.Error("unknown scenario accepted")
+	}
+}
+
+// TestRunRejectsUnknownParams: params not declared in ParamKeys must fail
+// before the run starts, for scenarios with and without any param surface.
+func TestRunRejectsUnknownParams(t *testing.T) {
+	fake(t, "t-no-params", 70)
+	if _, err := Run(context.Background(), "t-no-params", 1, Config{Params: Params{"client": "chrony"}}); err == nil {
+		t.Error("param accepted by a scenario with no ParamKeys")
+	}
+	s := fake(t, "t-some-params", 71)
+	s.Name = "t-some-params-2"
+	s.ParamKeys = []string{"knob"}
+	Register(s)
+	if _, err := Run(context.Background(), "t-some-params-2", 1, Config{Params: Params{"knbo": "x"}}); err == nil {
+		t.Error("mistyped param accepted")
+	}
+	if _, err := Run(context.Background(), "t-some-params-2", 1, Config{Params: Params{"knob": "x"}}); err != nil {
+		t.Errorf("declared param rejected: %v", err)
 	}
 }
 
@@ -84,10 +104,14 @@ func TestRegisterRejectsBadScenarios(t *testing.T) {
 		}()
 		Register(s)
 	}
-	mustPanic("empty name", Scenario{Run: func(int64, Config) (Result, error) { return Result{}, nil }})
-	mustPanic("nil Run", Scenario{Name: "t-nil-run"})
+	nop := func(context.Context, int64, Config) (Result, error) { return Result{}, nil }
+	mustPanic("empty name", Scenario{Title: "t", Impl: "t", Run: nop})
+	mustPanic("unselectable name", Scenario{Name: "t-a,b", Title: "t", Impl: "t", Run: nop})
+	mustPanic("empty Title", Scenario{Name: "t-no-title", Impl: "t", Run: nop})
+	mustPanic("empty Impl", Scenario{Name: "t-no-impl", Title: "t", Run: nop})
+	mustPanic("nil Run", Scenario{Name: "t-nil-run", Title: "t", Impl: "t"})
 	fake(t, "t-dup", 99)
-	mustPanic("duplicate", Scenario{Name: "t-dup", Run: func(int64, Config) (Result, error) { return Result{}, nil }})
+	mustPanic("duplicate", Scenario{Name: "t-dup", Title: "t", Impl: "t", Run: nop})
 }
 
 func TestParamStringSorted(t *testing.T) {
