@@ -10,6 +10,7 @@ package dnstime_test
 import (
 	"context"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -99,6 +100,31 @@ func BenchmarkCampaignAllScenarios(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(dnstime.Scenarios())), "scenarios")
+}
+
+// BenchmarkNetProfileSweep fans the boot-time attack across every netem
+// path profile (the netsweep scenario, DESIGN.md §8) and reports the
+// per-profile success rate — attack robustness against path conditions
+// as a benchmark metric.
+func BenchmarkNetProfileSweep(b *testing.B) {
+	eng := dnstime.NewEngine(dnstime.WithSeeds(8))
+	totalRuns := 0
+	for i := 0; i < b.N; i++ {
+		agg, err := eng.Run(context.Background(), "netsweep")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Errors > 0 {
+			b.Fatalf("%d errored runs", agg.Errors)
+		}
+		totalRuns += agg.Runs
+		for _, m := range agg.Metrics {
+			if strings.HasPrefix(m.Name, "shifted/") {
+				b.ReportMetric(100*m.Mean, strings.TrimPrefix(m.Name, "shifted/")+"-pct")
+			}
+		}
+	}
+	b.ReportMetric(float64(totalRuns*len(dnstime.NetProfileNames()))/b.Elapsed().Seconds(), "attacks/sec")
 }
 
 // BenchmarkEngineStream measures the streaming front end: a 64-seed

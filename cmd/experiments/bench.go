@@ -1,0 +1,156 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"dnstime"
+)
+
+// benchEntry is one scenario's campaign benchmark result: throughput plus
+// the headline aggregate statistics the campaign reported.
+type benchEntry struct {
+	// Scenario names the registered scenario.
+	Scenario string `json:"scenario"`
+	// Runs and Errors count the campaign's seeded runs.
+	Runs   int `json:"runs"`
+	Errors int `json:"errors"`
+	// Seconds is the campaign wall-clock time; RunsPerSec the throughput.
+	Seconds    float64 `json:"seconds"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+	// SuccessRatePct is present for scenarios with a binary outcome.
+	SuccessRatePct *float64 `json:"success_rate_pct,omitempty"`
+	// MetricMeans holds every aggregate metric mean, keyed by name.
+	MetricMeans map[string]float64 `json:"metric_means,omitempty"`
+}
+
+// benchDoc is the bench subcommand's JSON document (BENCH_4.json in CI):
+// one campaign benchmark entry per scenario, in registry order, plus the
+// run configuration — the repo's performance trajectory across PRs.
+type benchDoc struct {
+	// Seeds, Workers and Fast echo the benchmark configuration.
+	Seeds   int  `json:"seeds"`
+	Workers int  `json:"workers"`
+	Fast    bool `json:"fast,omitempty"`
+	// GoMaxProcs records the parallelism available to the run.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// TotalSeconds is the wall-clock time across all campaigns.
+	TotalSeconds float64 `json:"total_seconds"`
+	// TotalRunsPerSec is the whole-registry throughput.
+	TotalRunsPerSec float64 `json:"total_runs_per_sec"`
+	// Scenarios holds one entry per benchmarked scenario.
+	Scenarios []benchEntry `json:"scenarios"`
+}
+
+// benchConfig holds the parsed bench-subcommand flags.
+type benchConfig struct {
+	seeds   int
+	workers int
+	fast    bool
+	only    string
+	out     string
+}
+
+// benchFlagSet declares the bench flag surface (the README command
+// checker parses documented commands against it).
+func benchFlagSet(cfg *benchConfig) *flag.FlagSet {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.IntVar(&cfg.seeds, "seeds", 16, "independent seeds per scenario")
+	fs.IntVar(&cfg.workers, "workers", 0, "concurrent workers (0 = GOMAXPROCS)")
+	fs.BoolVar(&cfg.fast, "fast", false, "shrink the slowest scenarios' populations")
+	fs.StringVar(&cfg.only, "only", "", "comma-separated scenario subset (default: all)")
+	fs.StringVar(&cfg.out, "o", "", "write the JSON document to this file (default: stdout)")
+	return fs
+}
+
+// runBench is the bench subcommand: run every selected scenario as one
+// multi-seed campaign through the Engine, time it, and emit a JSON
+// document of runs/sec plus headline metrics. CI runs this once per push
+// and uploads the document as the BENCH_4.json artifact, so campaign
+// throughput is tracked alongside correctness.
+func runBench(ctx context.Context, argv []string, w io.Writer) error {
+	var cfg benchConfig
+	fs := benchFlagSet(&cfg)
+	if err := fs.Parse(argv); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (scenarios are selected with -only name,...)", fs.Arg(0))
+	}
+	if cfg.seeds <= 0 {
+		return fmt.Errorf("-seeds must be positive (got %d)", cfg.seeds)
+	}
+	names, err := selectScenarios(cfg.only)
+	if err != nil {
+		return err
+	}
+
+	doc := benchDoc{
+		Seeds:      cfg.seeds,
+		Workers:    cfg.workers,
+		Fast:       cfg.fast,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if doc.Workers == 0 {
+		doc.Workers = doc.GoMaxProcs
+	}
+	totalRuns := 0
+	start := time.Now()
+	for _, name := range names {
+		eng := dnstime.NewEngine(
+			dnstime.WithSeeds(cfg.seeds),
+			dnstime.WithWorkers(cfg.workers),
+			dnstime.WithFast(cfg.fast),
+		)
+		campaignStart := time.Now()
+		agg, err := eng.Run(ctx, name)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", name, err)
+		}
+		elapsed := time.Since(campaignStart).Seconds()
+		entry := benchEntry{
+			Scenario:   name,
+			Runs:       agg.Runs,
+			Errors:     agg.Errors,
+			Seconds:    elapsed,
+			RunsPerSec: float64(agg.Runs) / elapsed,
+		}
+		if agg.OutcomeRuns > 0 {
+			rate := agg.SuccessRate
+			entry.SuccessRatePct = &rate
+		}
+		if len(agg.Metrics) > 0 {
+			entry.MetricMeans = make(map[string]float64, len(agg.Metrics))
+			for _, m := range agg.Metrics {
+				entry.MetricMeans[m.Name] = m.Mean
+			}
+		}
+		doc.Scenarios = append(doc.Scenarios, entry)
+		totalRuns += agg.Runs
+		fmt.Fprintf(os.Stderr, "bench %-16s %3d runs in %6.2fs (%.1f runs/sec)\n",
+			name, agg.Runs, elapsed, entry.RunsPerSec)
+	}
+	doc.TotalSeconds = time.Since(start).Seconds()
+	doc.TotalRunsPerSec = float64(totalRuns) / doc.TotalSeconds
+
+	if cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -9,6 +9,7 @@
 //	experiments campaigns [-seeds N] [-workers M] [-json] [-fast] [-only boot,table4,...]
 //	experiments campaigns -only boot [-param client=chrony] [-checkpoint f.jsonl] [-resume f.jsonl]
 //	experiments scenarios [-markdown]
+//	experiments bench [-seeds N] [-fast] [-o BENCH_4.json]
 //
 // The default (no subcommand) is the original single-seed paper
 // reproduction; -fast skips the slowest experiments (Table II's four full
@@ -20,8 +21,14 @@
 // overrides (`-client` is shorthand for `-param client=...`); with
 // `-checkpoint` the engine records each completed seed so an interrupted
 // campaign (SIGINT drains the workers and prints the partial aggregate)
-// can be picked up with `-resume`. The scenarios subcommand lists the
-// registry (-markdown emits the DESIGN.md §4 experiment index).
+// can be picked up with `-resume`. Network conditions are params too:
+// `-param net=<profile>` runs a scenario's labs over a netem path model
+// (lan, wan, transcontinental, lossy-wifi, congested — DESIGN.md §8),
+// with `-param rtt=...`/`-param loss=...` scalar overrides. The scenarios
+// subcommand lists the registry (-markdown emits the DESIGN.md §4
+// experiment index). The bench subcommand times every scenario's campaign
+// through the Engine and emits a JSON throughput document (CI uploads it
+// as the BENCH_4.json artifact).
 package main
 
 import (
@@ -57,6 +64,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "scenarios" {
 		if err := runScenarios(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments scenarios:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		if err := runBench(context.Background(), os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments bench:", err)
 			os.Exit(1)
 		}
 		return

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"io"
 	"os"
@@ -124,6 +125,58 @@ func TestRunCampaignsSeedZero(t *testing.T) {
 	}
 }
 
+// TestRunBenchDocument: the bench subcommand emits a JSON document with
+// one throughput entry per selected scenario and writes it to -o.
+func TestRunBenchDocument(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	err := runBench(context.Background(), []string{
+		"-seeds", "2", "-fast", "-only", "boot,table3", "-o", path,
+	}, &stdout)
+	if err != nil {
+		t.Fatalf("runBench: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bench document does not parse: %v\n%s", err, data)
+	}
+	if doc.Seeds != 2 || len(doc.Scenarios) != 2 {
+		t.Fatalf("doc = seeds %d, %d scenarios, want 2 and 2", doc.Seeds, len(doc.Scenarios))
+	}
+	for _, e := range doc.Scenarios {
+		if e.Runs != 2 || e.Errors != 0 || e.RunsPerSec <= 0 {
+			t.Errorf("%s: runs=%d errors=%d runs/sec=%f", e.Scenario, e.Runs, e.Errors, e.RunsPerSec)
+		}
+	}
+	if doc.Scenarios[0].Scenario != "boot" || doc.Scenarios[0].SuccessRatePct == nil {
+		t.Errorf("boot entry malformed: %+v", doc.Scenarios[0])
+	}
+	if doc.Scenarios[1].Scenario != "table3" || doc.Scenarios[1].SuccessRatePct != nil {
+		t.Errorf("table3 entry malformed (closed-form scenarios report no success rate): %+v", doc.Scenarios[1])
+	}
+	if doc.TotalRunsPerSec <= 0 || doc.TotalSeconds <= 0 {
+		t.Errorf("totals not reported: %+v", doc)
+	}
+}
+
+// TestRunBenchBadArgs: the bench subcommand rejects unknown scenarios,
+// bad seed counts and stray positional arguments.
+func TestRunBenchBadArgs(t *testing.T) {
+	for name, argv := range map[string][]string{
+		"unknown scenario": {"-only", "sundial"},
+		"zero seeds":       {"-seeds", "0"},
+		"positional":       {"boot"},
+	} {
+		if err := runBench(context.Background(), argv, io.Discard); err == nil {
+			t.Errorf("%s: accepted (argv %v)", name, argv)
+		}
+	}
+}
+
 // TestRunScenariosListsRegistry: the scenarios subcommand lists every
 // registered scenario by name.
 func TestRunScenariosListsRegistry(t *testing.T) {
@@ -211,6 +264,12 @@ func checkExperimentsCommand(t *testing.T, cmd string, args []string) {
 	case len(args) > 0 && args[0] == "scenarios":
 		var markdown bool
 		err = quietly(scenariosFlagSet(&markdown)).Parse(args[1:])
+	case len(args) > 0 && args[0] == "bench":
+		var cfg benchConfig
+		err = quietly(benchFlagSet(&cfg)).Parse(args[1:])
+		if err == nil {
+			_, err = selectScenarios(cfg.only)
+		}
 	default:
 		var seed int64
 		var fast bool
@@ -271,6 +330,71 @@ func TestRunCampaignsParam(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "-123.00") {
 		t.Errorf("offset_s metric does not reflect the -123 s param:\n%s", out.String())
+	}
+}
+
+// TestRunCampaignsNetParamDeterministic: link randomness (loss bursts,
+// latency jitter, reordering from a netem profile) derives from the
+// campaign seed, never from worker scheduling — so a network-condition
+// campaign is byte-identical at -workers 1 and -workers 8, per-seed
+// results included.
+func TestRunCampaignsNetParamDeterministic(t *testing.T) {
+	for _, argv := range [][]string{
+		{"-only", "boot", "-param", "net=lossy-wifi"},
+		{"-only", "boot", "-param", "net=congested", "-param", "loss=0.05"},
+		{"-only", "chronos", "-param", "net=transcontinental"},
+	} {
+		argv := argv
+		t.Run(strings.Join(argv, " "), func(t *testing.T) {
+			t.Parallel()
+			render := func(workers string) string {
+				var out bytes.Buffer
+				args := append([]string{"-seeds", "4", "-workers", workers, "-json", "-perrun", "-q"}, argv...)
+				if err := runCampaigns(context.Background(), args, &out); err != nil {
+					t.Fatal(err)
+				}
+				return out.String()
+			}
+			if a, b := render("1"), render("8"); a != b {
+				t.Errorf("output differs between -workers 1 and -workers 8:\n%s\nvs\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestRunCampaignsNetsweep: the netsweep campaign reports one success
+// metric per netem profile — the per-profile success-rate table.
+func TestRunCampaignsNetsweep(t *testing.T) {
+	var out bytes.Buffer
+	err := runCampaigns(context.Background(), []string{
+		"-seeds", "2", "-only", "netsweep", "-q",
+	}, &out)
+	if err != nil {
+		t.Fatalf("runCampaigns -only netsweep: %v", err)
+	}
+	for _, profile := range []string{"lab", "lan", "wan", "transcontinental", "lossy-wifi", "congested"} {
+		if !strings.Contains(out.String(), "shifted/"+profile) {
+			t.Errorf("netsweep output missing profile %q:\n%s", profile, out.String())
+		}
+	}
+}
+
+// TestRunCampaignsBadNetParam: an unknown profile or a malformed override
+// is a per-run error, surfaced in the aggregate's error count (param
+// *keys* are validated before the campaign; values are interpreted by the
+// scenario's runs).
+func TestRunCampaignsBadNetParam(t *testing.T) {
+	for name, argv := range map[string][]string{
+		"unknown profile":  {"-only", "boot", "-param", "net=dialup", "-seeds", "1"},
+		"loss not a rate":  {"-only", "boot", "-param", "loss=2", "-seeds", "1"},
+		"loss at sentinel": {"-only", "boot", "-param", "loss=-1", "-seeds", "1"},
+		"rtt not a time":   {"-only", "boot", "-param", "rtt=fast", "-seeds", "1"},
+	} {
+		var out bytes.Buffer
+		err := runCampaigns(context.Background(), argv, &out)
+		if err == nil && !strings.Contains(out.String(), "errors 1") {
+			t.Errorf("%s: run accepted without errors (argv %v):\n%s", name, argv, out.String())
+		}
 	}
 }
 

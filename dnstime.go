@@ -36,6 +36,7 @@ import (
 	"dnstime/internal/chronos"
 	"dnstime/internal/core"
 	"dnstime/internal/measure"
+	"dnstime/internal/netem"
 	"dnstime/internal/ntpclient"
 	"dnstime/internal/population"
 	"dnstime/internal/scenario"
@@ -61,6 +62,36 @@ var (
 	// MustNewLab is NewLab that panics on error (examples, benchmarks).
 	MustNewLab = core.MustNewLab
 )
+
+// Network-condition emulation (DESIGN.md §8): every lab link runs over a
+// composable netem path model — latency distributions, loss models
+// (i.i.d. and Gilbert–Elliott bursts), reordering, asymmetric legs and
+// per-pair overrides — selected per lab via LabConfig.Path or per
+// campaign via the net/rtt/loss scenario params.
+type (
+	// PathModel decides per-packet latency and loss on lab links.
+	PathModel = netem.PathModel
+	// NetPath is the basic composable path model (delay + loss + reorder).
+	NetPath = netem.Path
+)
+
+// Network-condition emulation entry points.
+var (
+	// NetProfile returns a fresh PathModel for a named profile
+	// (lab, lan, wan, transcontinental, lossy-wifi, congested).
+	NetProfile = netem.Profile
+	// NetProfileNames lists the built-in profile names, sorted.
+	NetProfileNames = netem.ProfileNames
+	// NetProfileDescription returns a profile's one-line description.
+	NetProfileDescription = netem.ProfileDescription
+	// NetPathFromSpec builds a PathModel from a profile name plus
+	// optional rtt/loss overrides (the `-param net=...` code path).
+	NetPathFromSpec = netem.FromSpec
+)
+
+// NetNoLossOverride keeps a profile's own loss model when passed as
+// NetPathFromSpec's loss argument.
+const NetNoLossOverride = netem.NoLossOverride
 
 // Attack experiment runners and results.
 type (

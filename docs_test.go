@@ -78,11 +78,11 @@ func TestDocsRelativeLinks(t *testing.T) {
 	}
 }
 
-// TestGodocCoverage: internal/scenario, internal/campaign and
-// internal/stats must carry a package comment and a doc comment on every
-// exported symbol (types, funcs, methods, and const/var groups).
+// TestGodocCoverage: internal/scenario, internal/campaign, internal/stats
+// and internal/netem must carry a package comment and a doc comment on
+// every exported symbol (types, funcs, methods, and const/var groups).
 func TestGodocCoverage(t *testing.T) {
-	for _, dir := range []string{"internal/scenario", "internal/campaign", "internal/stats"} {
+	for _, dir := range []string{"internal/scenario", "internal/campaign", "internal/stats", "internal/netem"} {
 		fset := token.NewFileSet()
 		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
 			return !strings.HasSuffix(fi.Name(), "_test.go")

@@ -1,0 +1,61 @@
+// Netsweep: re-evaluate the paper's attacks under network conditions the
+// testbed could not vary. Every lab link runs over a netem path model
+// (DESIGN.md §8) — named profiles from same-site LAN to a congested
+// trans-continental path — and the netsweep scenario fans one attack
+// across the whole profile grid, so a multi-seed campaign yields a
+// per-profile success-rate table.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"dnstime"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// 1. The netsweep scenario: one boot-time attack per netem profile
+	// per seed. The per-profile outcomes aggregate under metrics keyed
+	// "shifted/<profile>" and "tts_s/<profile>".
+	agg, err := dnstime.NewEngine(dnstime.WithSeeds(8)).Run(ctx, "netsweep")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("boot-time attack success by path profile (8 seeds):")
+	means := map[string]float64{}
+	for _, m := range agg.Metrics {
+		means[m.Name] = m.Mean
+	}
+	for _, profile := range dnstime.NetProfileNames() {
+		fmt.Printf("  %-18s shifted %5.1f%%  mean tts %6.1fs  — %s\n",
+			profile, 100*means["shifted/"+profile], means["tts_s/"+profile],
+			dnstime.NetProfileDescription(profile))
+	}
+
+	// 2. Any lab-backed scenario takes the same conditions as params —
+	// the library spelling of `-param net=lossy-wifi -param loss=0.08`.
+	lossy, err := dnstime.NewEngine(
+		dnstime.WithSeeds(8),
+		dnstime.WithParam("net", "lossy-wifi"),
+		dnstime.WithParam("loss", "0.08"),
+	).Run(ctx, "boot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nboot on lossy-wifi at 8%% i.i.d. loss: %s\n", lossy)
+
+	// 3. Or build a model directly for single-run experiments.
+	path, err := dnstime.NetPathFromSpec("transcontinental", 0, dnstime.NetNoLossOverride)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dnstime.RunBootTimeAttack(dnstime.ProfileNTPd, dnstime.LabConfig{Seed: 1, Path: path})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single transcontinental run: shifted=%t offset=%v tts=%v\n",
+		res.Shifted, res.ClockOffset, res.TimeToShift)
+}

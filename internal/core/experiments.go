@@ -265,18 +265,8 @@ type TableIIRow struct {
 // systemd-timesyncd for that row and record the discrepancy in
 // EXPERIMENTS.md.
 func TableII(cfg LabConfig) ([]TableIIRow, error) {
-	specs := []struct {
-		prof     ntpclient.Profile
-		scenario RuntimeScenario
-		paper    time.Duration
-	}{
-		{ntpclient.ProfileNTPd, ScenarioP2, 47 * time.Minute},
-		{ntpclient.ProfileNTPd, ScenarioP1, 17 * time.Minute},
-		{ntpclient.ProfileSystemd, ScenarioP1, 84 * time.Minute},
-		{ntpclient.ProfileChrony, ScenarioP1, 57 * time.Minute},
-	}
 	var rows []TableIIRow
-	for _, s := range specs {
+	for _, s := range tableIISpecs {
 		r, err := RunRuntimeAttack(s.prof, s.scenario, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("table II %s/%s: %w", s.prof.Name, s.scenario, err)
@@ -292,6 +282,20 @@ func TableII(cfg LabConfig) ([]TableIIRow, error) {
 		})
 	}
 	return rows, nil
+}
+
+// tableIISpecs are the four Table II rows (client, discovery scenario,
+// the paper's measured duration). The table2 scenario iterates the same
+// list so the two views cannot drift.
+var tableIISpecs = []struct {
+	prof     ntpclient.Profile
+	scenario RuntimeScenario
+	paper    time.Duration
+}{
+	{ntpclient.ProfileNTPd, ScenarioP2, 47 * time.Minute},
+	{ntpclient.ProfileNTPd, ScenarioP1, 17 * time.Minute},
+	{ntpclient.ProfileSystemd, ScenarioP1, 84 * time.Minute},
+	{ntpclient.ProfileChrony, ScenarioP1, 57 * time.Minute},
 }
 
 // ---------------------------------------------------------------------------

@@ -15,6 +15,7 @@ import (
 	"dnstime/internal/dnsres"
 	"dnstime/internal/dnswire"
 	"dnstime/internal/ipv4"
+	"dnstime/internal/netem"
 	"dnstime/internal/ntpclient"
 	"dnstime/internal/ntpserv"
 	"dnstime/internal/simclock"
@@ -64,6 +65,13 @@ type LabConfig struct {
 	// ResolverValidatesDNSSEC enables validation at the victim resolver
 	// (default false; pool.ntp.org is unsigned so it would not help).
 	ResolverValidatesDNSSEC bool
+	// Path models the network conditions on every lab link — latency
+	// distribution, loss, reordering (internal/netem; DESIGN.md §8). nil
+	// keeps the default lab path: fixed 10 ms one-way, lossless. All link
+	// randomness derives from Seed, so lossy labs stay deterministic per
+	// seed. Stateful models must be fresh per lab (netem.Profile and
+	// netem.FromSpec return fresh instances each call).
+	Path netem.PathModel
 }
 
 func (c *LabConfig) applyDefaults() {
@@ -110,7 +118,10 @@ type Lab struct {
 func NewLab(cfg LabConfig) (*Lab, error) {
 	cfg.applyDefaults()
 	clk := simclock.New(time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC))
-	net := simnet.New(clk)
+	// Link randomness (loss, jitter, reordering under non-default path
+	// models) derives from the lab seed — never from a global or pinned
+	// source — so campaigns replay byte-identically at any worker count.
+	net := simnet.New(clk, simnet.WithSeed(cfg.Seed+3), simnet.WithPathModel(cfg.Path))
 
 	authHost, err := net.AddHost(NSAddr, simnet.HostConfig{})
 	if err != nil {

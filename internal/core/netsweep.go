@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"dnstime/internal/netem"
+	"dnstime/internal/scenario"
+)
+
+// The netsweep scenario fans one attack across the whole netem profile
+// grid in a single seeded run: every registered path profile (lan, wan,
+// transcontinental, lossy-wifi, congested, plus the default lab link)
+// hosts its own lab, and the per-profile outcomes land in metrics keyed
+// by profile name ("shifted/lossy-wifi"). A campaign over netsweep
+// therefore aggregates into a per-profile success-rate table — the
+// paper's attacks re-evaluated against path conditions the testbed
+// could not vary (DESIGN.md §8).
+func init() {
+	scenario.Register(scenario.Scenario{
+		Name:      "netsweep",
+		Title:     "Attack × network-profile sweep",
+		PaperRef:  "beyond §IV–§VI",
+		Impl:      "core.netsweepScenario",
+		CLI:       "experiments campaigns -only netsweep",
+		Params:    map[string]string{"attack": "boot", "profiles": "all"},
+		ParamKeys: []string{"attack", "client", "scenario", "N", "spoofed"},
+		Order:     65,
+		Run:       netsweepScenario,
+	})
+}
+
+// netsweepScenario runs the selected attack (param attack=boot|runtime|
+// chronos, default boot) once per netem profile at the given seed. An
+// attack that fails for attack-intrinsic reasons on a degraded path —
+// poisoning never lands, the client never synchronises honestly — counts
+// as an unsuccessful run on that profile, not an error: "the attack does
+// not survive this path" is the measurement.
+func netsweepScenario(_ context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
+	attack := cfg.Params.Str("attack", "boot")
+	switch attack {
+	case "boot", "runtime", "chronos":
+	default:
+		return scenario.Result{}, fmt.Errorf("core: unknown netsweep attack %q (want boot, runtime or chronos)", attack)
+	}
+	metrics := make(map[string]float64, 2*len(netem.ProfileNames()))
+	allShifted := true
+	for _, name := range netem.ProfileNames() {
+		path, err := netem.Profile(name)
+		if err != nil {
+			return scenario.Result{}, err
+		}
+		shifted, extra, err := runSweepAttack(attack, seed, path, cfg.Params)
+		if err != nil {
+			return scenario.Result{}, fmt.Errorf("netsweep %s on %s: %w", attack, name, err)
+		}
+		metrics["shifted/"+name] = boolMetric(shifted)
+		if !shifted {
+			allShifted = false
+		}
+		for k, v := range extra {
+			metrics[k+"/"+name] = v
+		}
+	}
+	return scenario.Result{Success: scenario.Bool(allShifted), Metrics: metrics}, nil
+}
+
+// runSweepAttack executes one attack on one path model and classifies the
+// outcome: shifted, per-attack extra metrics, or a non-attack error.
+func runSweepAttack(attack string, seed int64, path netem.PathModel, p scenario.Params) (bool, map[string]float64, error) {
+	lab := LabConfig{Seed: seed, Path: path}
+	switch attack {
+	case "runtime":
+		prof, err := clientFromParams(p)
+		if err != nil {
+			return false, nil, err
+		}
+		rs := ScenarioP1
+		if name := p.Str("scenario", "P1"); name == "P2" || name == "p2" {
+			rs = ScenarioP2
+		}
+		res, err := RunRuntimeAttack(prof, rs, lab)
+		if errors.Is(err, ErrNotSynced) {
+			// The client never converged honestly on this path; the attack
+			// precondition itself is unreachable.
+			return false, map[string]float64{"synced": 0}, nil
+		}
+		if err != nil {
+			return false, nil, err
+		}
+		extra := map[string]float64{"synced": 1}
+		if res.Succeeded {
+			extra["duration_s"] = res.Duration.Seconds()
+		}
+		return res.Succeeded, extra, nil
+	case "chronos":
+		n, err := p.Int("N", 5)
+		if err != nil {
+			return false, nil, err
+		}
+		spoofed, err := p.Int("spoofed", 89)
+		if err != nil {
+			return false, nil, err
+		}
+		if n < 0 || spoofed < 0 {
+			return false, nil, fmt.Errorf("core: chronos params N=%d spoofed=%d must not be negative", n, spoofed)
+		}
+		res, err := RunChronosAttack(n, spoofed, lab)
+		if err != nil {
+			return false, nil, err
+		}
+		return res.Shifted, map[string]float64{"evil_in_pool": float64(res.EvilInPool)}, nil
+	default: // boot
+		prof, err := clientFromParams(p)
+		if err != nil {
+			return false, nil, err
+		}
+		res, err := RunBootTimeAttack(prof, lab)
+		if errors.Is(err, ErrPoisoningFailed) {
+			// Loss broke every planting/trigger round: the attack cannot
+			// even poison the cache on this path.
+			return false, map[string]float64{"poisoned": 0}, nil
+		}
+		if err != nil {
+			return false, nil, err
+		}
+		extra := map[string]float64{"poisoned": 1}
+		if res.Shifted {
+			extra["tts_s"] = res.TimeToShift.Seconds()
+		}
+		return res.Shifted, extra, nil
+	}
+}
+
+// boolMetric flattens a success flag into a 0/1 metric.
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

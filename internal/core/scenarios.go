@@ -4,16 +4,49 @@ import (
 	"context"
 	"fmt"
 
+	"dnstime/internal/netem"
 	"dnstime/internal/ntpclient"
 	"dnstime/internal/scenario"
 )
 
+// netParamKeys are the network-condition params every lab-backed scenario
+// accepts (`-param net=wan`, `-param rtt=200ms`, `-param loss=0.02`):
+// a netem profile name plus optional scalar overrides (DESIGN.md §8).
+var netParamKeys = []string{"net", "rtt", "loss"}
+
 // labParamKeys are the LabConfig knobs every attack scenario accepts as
 // campaign params (`experiments campaigns -param key=value`). Each maps
 // onto one LabConfig field; absent params keep the lab defaults.
-var labParamKeys = []string{
+var labParamKeys = append([]string{
 	"offset", "honest_servers", "evil_servers", "pad_b", "pool_ttl_s",
 	"ratelimit", "dnssec",
+}, netParamKeys...)
+
+// pathFromParams resolves the net/rtt/loss params into a fresh per-run
+// netem.PathModel (nil when none of the three is present — the default
+// lab path).
+func pathFromParams(p scenario.Params) (netem.PathModel, error) {
+	profile := p.Str("net", "")
+	rtt, err := p.Duration("rtt", 0)
+	if err != nil {
+		return nil, err
+	}
+	loss := float64(netem.NoLossOverride)
+	if _, ok := p["loss"]; ok {
+		// Validate the explicit value here: a raw -1 would otherwise
+		// collide with the absent-param sentinel and silently keep the
+		// profile's own loss model.
+		if loss, err = p.Float("loss", 0); err != nil {
+			return nil, err
+		}
+		if loss < 0 || loss > 1 {
+			return nil, fmt.Errorf("core: param loss=%v must be a fraction in [0, 1]", loss)
+		}
+	}
+	if profile == "" && rtt == 0 && loss == netem.NoLossOverride {
+		return nil, nil
+	}
+	return netem.FromSpec(profile, rtt, loss)
 }
 
 // sizeParam reads a non-negative integer sizing param (0 keeps the lab
@@ -63,6 +96,9 @@ func labFromParams(seed int64, p scenario.Params) (LabConfig, error) {
 	if cfg.ResolverValidatesDNSSEC, err = p.Bool("dnssec", false); err != nil {
 		return cfg, err
 	}
+	if cfg.Path, err = pathFromParams(p); err != nil {
+		return cfg, err
+	}
 	return cfg, nil
 }
 
@@ -103,24 +139,26 @@ func init() {
 		Run:       runtimeScenario,
 	})
 	scenario.Register(scenario.Scenario{
-		Name:     "table1",
-		Title:    "Table I client matrix",
-		PaperRef: "§V-A1",
-		Impl:     "core.TableI",
-		CLI:      "experiments -only table1",
-		Params:   map[string]string{"clients": "all 7"},
-		Order:    30,
-		Run:      tableIScenario,
+		Name:      "table1",
+		Title:     "Table I client matrix",
+		PaperRef:  "§V-A1",
+		Impl:      "core.TableI",
+		CLI:       "experiments -only table1",
+		Params:    map[string]string{"clients": "all 7"},
+		ParamKeys: netParamKeys,
+		Order:     30,
+		Run:       tableIScenario,
 	})
 	scenario.Register(scenario.Scenario{
-		Name:     "table2",
-		Title:    "Table II attack durations",
-		PaperRef: "§V-A2",
-		Impl:     "core.TableII",
-		CLI:      "experiments -only table2",
-		Params:   map[string]string{"rows": "ntpd/P2 ntpd/P1 systemd/P1 chrony/P1"},
-		Order:    40,
-		Run:      tableIIScenario,
+		Name:      "table2",
+		Title:     "Table II attack durations",
+		PaperRef:  "§V-A2",
+		Impl:      "core.TableII",
+		CLI:       "experiments -only table2",
+		Params:    map[string]string{"rows": "ntpd/P2 ntpd/P1 systemd/P1 chrony/P1"},
+		ParamKeys: netParamKeys,
+		Order:     40,
+		Run:       tableIIScenario,
 	})
 	scenario.Register(scenario.Scenario{
 		Name:      "chronos",
@@ -195,12 +233,17 @@ func runtimeScenario(_ context.Context, seed int64, cfg scenario.Config) (scenar
 // tableIScenario runs one seed's whole Table I matrix: the boot-time
 // attack against all seven client profiles. Per-client outcomes are keyed
 // by profile name so a campaign over this scenario aggregates into the
-// per-client Table I rows (see campaign.TableI).
-func tableIScenario(_ context.Context, seed int64, _ scenario.Config) (scenario.Result, error) {
+// per-client Table I rows (see campaign.TableI). The net/rtt/loss params
+// rerun the matrix under any netem path.
+func tableIScenario(_ context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
 	metrics := make(map[string]float64, 3*len(ntpclient.AllProfiles()))
 	allShifted := true
 	for _, pu := range ntpclient.AllProfiles() {
-		boot, err := RunBootTimeAttack(pu.Profile, LabConfig{Seed: seed})
+		path, err := pathFromParams(cfg.Params)
+		if err != nil {
+			return scenario.Result{}, err
+		}
+		boot, err := RunBootTimeAttack(pu.Profile, LabConfig{Seed: seed, Path: path})
 		if err != nil {
 			return scenario.Result{}, fmt.Errorf("table I %s: %w", pu.Profile.Name, err)
 		}
@@ -218,15 +261,26 @@ func tableIScenario(_ context.Context, seed int64, _ scenario.Config) (scenario.
 }
 
 // tableIIScenario runs one seed's four Table II run-time attack duration
-// experiments.
-func tableIIScenario(_ context.Context, seed int64, _ scenario.Config) (scenario.Result, error) {
-	rows, err := TableII(LabConfig{Seed: seed})
-	if err != nil {
-		return scenario.Result{}, err
-	}
-	metrics := make(map[string]float64, len(rows))
-	for _, r := range rows {
-		metrics["minutes/"+r.Client+"-"+r.Scenario.String()] = r.Duration.Minutes()
+// experiments (under any netem path via the net/rtt/loss params). Each
+// row gets a freshly built path model: stateful loss models must not
+// carry state from one row's lab into the next (the netem one-model-
+// per-lab rule), so the rows stay independent of each other's packet
+// counts and match a standalone runtime run at the same seed and params.
+func tableIIScenario(_ context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
+	metrics := make(map[string]float64, len(tableIISpecs))
+	for _, s := range tableIISpecs {
+		path, err := pathFromParams(cfg.Params)
+		if err != nil {
+			return scenario.Result{}, err
+		}
+		r, err := RunRuntimeAttack(s.prof, s.scenario, LabConfig{Seed: seed, Path: path})
+		if err != nil {
+			return scenario.Result{}, fmt.Errorf("table II %s/%s: %w", s.prof.Name, s.scenario, err)
+		}
+		if !r.Succeeded {
+			return scenario.Result{}, fmt.Errorf("table II %s/%s: attack did not complete", s.prof.Name, s.scenario)
+		}
+		metrics["minutes/"+s.prof.Name+"-"+s.scenario.String()] = r.Duration.Minutes()
 	}
 	return scenario.Result{Success: scenario.Bool(true), Metrics: metrics}, nil
 }

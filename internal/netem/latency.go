@@ -1,0 +1,59 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LatencyDist samples one-way path delays. Implementations must derive
+// every draw from the rng they are given (no global randomness) so path
+// latency replays deterministically per seed.
+type LatencyDist interface {
+	// Sample returns the next one-way delay.
+	Sample(rng *rand.Rand) time.Duration
+}
+
+// Fixed is a constant delay. It consumes no randomness, so wiring a
+// Fixed-latency path changes nothing about a seed's RNG stream — the
+// property that keeps the default lab byte-identical to the pre-netem
+// simulation.
+type Fixed time.Duration
+
+// Sample returns the constant delay.
+func (f Fixed) Sample(*rand.Rand) time.Duration { return time.Duration(f) }
+
+// Uniform draws uniformly from [Min, Max] — symmetric jitter around the
+// midpoint, the classic netem `delay 5ms 3ms` shape.
+type Uniform struct {
+	// Min and Max bound the delay (inclusive).
+	Min, Max time.Duration
+}
+
+// Sample draws one delay; a degenerate range (Max ≤ Min) returns Min
+// without consuming randomness.
+func (u Uniform) Sample(rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// Lognormal draws Median·exp(Sigma·N(0,1)): the right-skewed delay shape
+// measured on real WAN paths — most packets near the median, a long tail
+// of stragglers. The mean is Median·exp(Sigma²/2).
+type Lognormal struct {
+	// Median is the distribution median (the 50th-percentile delay).
+	Median time.Duration
+	// Sigma is the log-domain standard deviation (0 degenerates to
+	// Fixed(Median); 0.2–0.6 covers calm to heavily jittered paths).
+	Sigma float64
+}
+
+// Sample draws one delay.
+func (l Lognormal) Sample(rng *rand.Rand) time.Duration {
+	if l.Sigma == 0 {
+		return l.Median
+	}
+	return time.Duration(float64(l.Median) * math.Exp(l.Sigma*rng.NormFloat64()))
+}

@@ -1,0 +1,166 @@
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"dnstime/internal/ipv4"
+)
+
+// profileSpec is one named profile: a short description for the docs and
+// a factory returning a fresh model instance (fresh because loss models
+// may be stateful — two labs must never share one instance).
+type profileSpec struct {
+	desc  string
+	build func() PathModel
+}
+
+// profiles is the built-in profile catalogue (DESIGN.md §8 documents the
+// table; keep the two in sync).
+var profiles = map[string]profileSpec{
+	"lab": {
+		desc:  "the historical default link: fixed 10 ms one-way, lossless, in-order",
+		build: func() PathModel { return &Path{} },
+	},
+	"lan": {
+		desc:  "same-site Ethernet: fixed 200 µs one-way, lossless",
+		build: func() PathModel { return &Path{Delay: Fixed(200 * time.Microsecond)} },
+	},
+	"wan": {
+		desc: "domestic WAN: lognormal 15 ms median (σ 0.25), 0.1% i.i.d. loss",
+		build: func() PathModel {
+			return &Path{
+				Delay: Lognormal{Median: 15 * time.Millisecond, Sigma: 0.25},
+				Loss:  IID{P: 0.001},
+			}
+		},
+	},
+	"transcontinental": {
+		desc: "long-haul path: asymmetric lognormal 75/90 ms median legs (σ 0.15), 0.3% i.i.d. loss",
+		build: func() PathModel {
+			return &Asymmetric{
+				Fwd: &Path{
+					Delay: Lognormal{Median: 75 * time.Millisecond, Sigma: 0.15},
+					Loss:  IID{P: 0.003},
+				},
+				Rev: &Path{
+					Delay: Lognormal{Median: 90 * time.Millisecond, Sigma: 0.15},
+					Loss:  IID{P: 0.003},
+				},
+			}
+		},
+	},
+	"lossy-wifi": {
+		desc: "last-hop wireless: uniform 2–12 ms, Gilbert–Elliott bursts (≈5% mean loss, 2-packet bursts)",
+		build: func() PathModel {
+			return &Path{
+				Delay: Uniform{Min: 2 * time.Millisecond, Max: 12 * time.Millisecond},
+				Loss:  &GilbertElliott{PGB: 0.05, PBG: 0.5, LossGood: 0.01, LossBad: 0.5},
+			}
+		},
+	},
+	"congested": {
+		desc: "overloaded path: lognormal 40 ms median (σ 0.5), 2% i.i.d. loss, 5% reordered +30 ms",
+		build: func() PathModel {
+			return &Path{
+				Delay:   Lognormal{Median: 40 * time.Millisecond, Sigma: 0.5},
+				Loss:    IID{P: 0.02},
+				Reorder: Reorder{P: 0.05, Extra: 30 * time.Millisecond},
+			}
+		},
+	},
+}
+
+// DefaultProfile names the profile a lab runs when none is requested.
+const DefaultProfile = "lab"
+
+// Profile returns a fresh PathModel for the named profile. Every call
+// constructs new instances, so concurrent labs never share loss state.
+func Profile(name string) (PathModel, error) {
+	spec, ok := profiles[name]
+	if !ok {
+		return nil, fmt.Errorf("netem: unknown profile %q (have: %s)",
+			name, strings.Join(ProfileNames(), ", "))
+	}
+	return spec.build(), nil
+}
+
+// ProfileNames lists the built-in profile names, sorted — the iteration
+// order sweeps and docs rely on.
+func ProfileNames() []string {
+	names := make([]string, 0, len(profiles))
+	for name := range profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ProfileDescription returns the one-line description of a profile ("" if
+// unknown) — the DESIGN.md §8 table text.
+func ProfileDescription(name string) string { return profiles[name].desc }
+
+// NoLossOverride passes FromSpec's loss parameter through untouched.
+const NoLossOverride = -1
+
+// override replaces parts of a base model: a non-nil delay wins over the
+// base latency, lossSet routes drops through loss instead of the base.
+type override struct {
+	base    PathModel
+	delay   LatencyDist
+	loss    LossModel
+	lossSet bool
+}
+
+// Latency applies the delay override, else the base model.
+func (o *override) Latency(src, dst ipv4.Addr, rng *rand.Rand) time.Duration {
+	if o.delay != nil {
+		return o.delay.Sample(rng)
+	}
+	return o.base.Latency(src, dst, rng)
+}
+
+// Drop applies the loss override, else the base model.
+func (o *override) Drop(src, dst ipv4.Addr, rng *rand.Rand) bool {
+	if o.lossSet {
+		return o.loss.Drop(rng)
+	}
+	return o.base.Drop(src, dst, rng)
+}
+
+// FromSpec builds a per-run PathModel from a profile name plus optional
+// scalar overrides — the `net=<profile>` / `rtt=` / `loss=` scenario
+// params. An empty name means DefaultProfile; rtt > 0 replaces the
+// latency with a fixed rtt/2 one-way delay; loss in [0, 1] replaces the
+// loss model with i.i.d. loss at that rate (NoLossOverride keeps the
+// profile's own). Every call returns fresh instances.
+func FromSpec(name string, rtt time.Duration, loss float64) (PathModel, error) {
+	if name == "" {
+		name = DefaultProfile
+	}
+	base, err := Profile(name)
+	if err != nil {
+		return nil, err
+	}
+	if rtt < 0 {
+		return nil, fmt.Errorf("netem: rtt override %v must not be negative", rtt)
+	}
+	if loss != NoLossOverride && (loss < 0 || loss > 1) {
+		return nil, fmt.Errorf("netem: loss override %v must be a fraction in [0, 1]", loss)
+	}
+	if rtt == 0 && loss == NoLossOverride {
+		return base, nil
+	}
+	o := &override{base: base}
+	if rtt > 0 {
+		o.delay = Fixed(rtt / 2)
+	}
+	if loss != NoLossOverride {
+		o.loss = IID{P: loss}
+		o.lossSet = true
+	}
+	return o, nil
+}

@@ -73,6 +73,19 @@ func (p Params) Int(key string, def int) (int, error) {
 	return n, nil
 }
 
+// Float returns the float parameter under key, or def when absent.
+func (p Params) Float(key string, def float64) (float64, error) {
+	v, ok := p[key]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: param %s=%q is not a number", key, v)
+	}
+	return f, nil
+}
+
 // Bool returns the boolean parameter under key, or def when absent.
 func (p Params) Bool(key string, def bool) (bool, error) {
 	v, ok := p[key]

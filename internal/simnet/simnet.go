@@ -1,9 +1,11 @@
 // Package simnet provides a deterministic simulated internetwork. Hosts are
 // identified by IPv4 addresses and exchange UDP datagrams carried in
-// (possibly fragmented) IPv4 packets over links with configurable latency
-// and loss. The network supports the off-path attacker model of the paper:
-// any host may inject raw packets with arbitrary (spoofed) source
-// addresses, but no host can observe traffic between other hosts.
+// (possibly fragmented) IPv4 packets over links whose latency, loss and
+// reordering are decided by a netem.PathModel (see internal/netem and
+// DESIGN.md §8); the default model is a fixed 10 ms lossless link. The
+// network supports the off-path attacker model of the paper: any host may
+// inject raw packets with arbitrary (spoofed) source addresses, but no
+// host can observe traffic between other hosts.
 //
 // Each host owns the receiver-side state the attack manipulates: an IPv4
 // defragmentation cache (internal/ipv4.Reassembler), a path-MTU cache
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"dnstime/internal/ipv4"
+	"dnstime/internal/netem"
 	"dnstime/internal/simclock"
 	"dnstime/internal/udp"
 )
@@ -73,35 +76,84 @@ func (e TraceEvent) String() string {
 
 // Network is the simulated internetwork.
 type Network struct {
-	clock   *simclock.Clock
-	hosts   map[ipv4.Addr]*Host
-	latency func(src, dst ipv4.Addr) time.Duration
-	lossPct float64
-	rng     *rand.Rand
-	trace   func(TraceEvent)
+	clock *simclock.Clock
+	hosts map[ipv4.Addr]*Host
+	path  netem.PathModel
+	rng   *rand.Rand
+	trace func(TraceEvent)
 }
 
 // Option configures a Network.
 type Option func(*Network)
 
-// WithLatency sets a uniform one-way latency for all links.
-func WithLatency(d time.Duration) Option {
+// WithPathModel routes every link through m — latency, loss and
+// reordering per directed pair (see internal/netem for the composable
+// models and named profiles). The model draws from the network RNG
+// (WithSeed); stateful models must not be shared between networks, so
+// build a fresh one per Network. Overrides any previously applied
+// latency/loss option.
+func WithPathModel(m netem.PathModel) Option {
 	return func(n *Network) {
-		n.latency = func(_, _ ipv4.Addr) time.Duration { return d }
+		if m != nil {
+			n.path = m
+		}
 	}
 }
 
-// WithLatencyFunc sets a per-pair one-way latency function.
+// WithSeed derives the network RNG — the source of all link randomness
+// (loss draws, latency jitter, reordering) — from seed. Labs pass their
+// campaign seed so link behaviour is deterministic per run and
+// independent of campaign worker count. The default seed is 1, the value
+// the pre-netem network hard-coded.
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithLatency sets a fixed uniform one-way latency for all links. Thin
+// shim over netem: it reconfigures the network's default netem.Path (or
+// replaces a custom model installed earlier).
+func WithLatency(d time.Duration) Option {
+	return editPath(func(p *netem.Path) { p.Delay = netem.Fixed(d) })
+}
+
+// WithLatencyFunc sets a per-pair one-way latency function (shim over
+// netem.Path.DelayFunc; see WithLatency).
 func WithLatencyFunc(f func(src, dst ipv4.Addr) time.Duration) Option {
-	return func(n *Network) { n.latency = f }
+	return editPath(func(p *netem.Path) { p.DelayFunc = f })
+}
+
+// WithLossRate drops each packet independently with probability p, drawn
+// from the network RNG (shim over netem.IID; see WithLatency). Pair with
+// WithSeed to pin the loss pattern to a run seed.
+func WithLossRate(p float64) Option {
+	return editPath(func(path *netem.Path) { path.Loss = netem.IID{P: p} })
 }
 
 // WithLoss drops each packet independently with probability p, using the
 // given seed for reproducibility.
+//
+// Deprecated: the seed belongs to the network, not the loss model — use
+// WithLossRate(p) plus WithSeed(seed), or a full WithPathModel. This
+// shim is exactly that combination, so existing callers keep their
+// packet-for-packet behaviour.
 func WithLoss(p float64, seed int64) Option {
 	return func(n *Network) {
-		n.lossPct = p
-		n.rng = rand.New(rand.NewSource(seed))
+		WithLossRate(p)(n)
+		WithSeed(seed)(n)
+	}
+}
+
+// editPath mutates the network's composable netem.Path in place; if a
+// custom PathModel was installed, it is replaced by a fresh Path carrying
+// just the edit (the legacy options predate model composition).
+func editPath(edit func(*netem.Path)) Option {
+	return func(n *Network) {
+		p, ok := n.path.(*netem.Path)
+		if !ok {
+			p = &netem.Path{}
+			n.path = p
+		}
+		edit(p)
 	}
 }
 
@@ -110,16 +162,15 @@ func WithTrace(f func(TraceEvent)) Option {
 	return func(n *Network) { n.trace = f }
 }
 
-// New creates a network driven by clock. The default link latency is 10 ms
-// one-way with no loss.
+// New creates a network driven by clock. The default link is netem's
+// zero-value Path: 10 ms one-way, lossless, in-order, consuming no
+// randomness.
 func New(clock *simclock.Clock, opts ...Option) *Network {
 	n := &Network{
 		clock: clock,
 		hosts: make(map[ipv4.Addr]*Host),
-		latency: func(_, _ ipv4.Addr) time.Duration {
-			return 10 * time.Millisecond
-		},
-		rng: rand.New(rand.NewSource(1)),
+		path:  &netem.Path{},
+		rng:   rand.New(rand.NewSource(1)),
 	}
 	for _, o := range opts {
 		o(n)
@@ -141,10 +192,11 @@ func (n *Network) emit(kind TraceKind, pkt *ipv4.Packet) {
 
 // Inject delivers a raw IPv4 packet into the network exactly as written —
 // the off-path attacker's spoofing primitive. The packet's Src may be any
-// address; delivery is to Dst, after link latency, subject to loss.
+// address; delivery is to Dst, after the path model's latency, subject to
+// its loss model.
 func (n *Network) Inject(pkt *ipv4.Packet) {
 	n.emit(TraceSend, pkt)
-	if n.lossPct > 0 && n.rng.Float64() < n.lossPct {
+	if n.path.Drop(pkt.Src, pkt.Dst, n.rng) {
 		n.emit(TraceDrop, pkt)
 		return
 	}
@@ -153,7 +205,7 @@ func (n *Network) Inject(pkt *ipv4.Packet) {
 		n.emit(TraceDrop, pkt)
 		return
 	}
-	d := n.latency(pkt.Src, pkt.Dst)
+	d := n.path.Latency(pkt.Src, pkt.Dst, n.rng)
 	p := pkt.Clone()
 	n.clock.Schedule(d, func() {
 		n.emit(TraceDeliver, p)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dnstime/internal/ipv4"
+	"dnstime/internal/netem"
 	"dnstime/internal/simclock"
 	"dnstime/internal/udp"
 )
@@ -202,6 +203,99 @@ func TestLossDropsPackets(t *testing.T) {
 	clk.RunFor(time.Second)
 	if delivered {
 		t.Error("packet delivered despite 100% loss")
+	}
+}
+
+// TestPathModelJitterAndLoss: a WithPathModel network draws per-packet
+// latency and loss from the installed model — delivery times vary within
+// the distribution's bounds and some packets vanish.
+func TestPathModelJitterAndLoss(t *testing.T) {
+	model := &netem.Path{
+		Delay: netem.Uniform{Min: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+		Loss:  netem.IID{P: 0.3},
+	}
+	n, a, b := twoHosts(t, WithPathModel(model), WithSeed(11))
+	var arrivals []time.Duration
+	b.HandleUDP(53, func(ipv4.Addr, uint16, []byte) {
+		arrivals = append(arrivals, n.Clock().Now().Sub(t0))
+	})
+	sent := 200
+	for i := 0; i < sent; i++ {
+		a.SendUDP(addrB, 1, 53, []byte("x"))
+	}
+	n.Clock().RunFor(time.Second)
+	if len(arrivals) == sent || len(arrivals) == 0 {
+		t.Fatalf("delivered %d/%d packets, want lossy-but-nonzero", len(arrivals), sent)
+	}
+	for _, at := range arrivals {
+		if at < 5*time.Millisecond || at > 50*time.Millisecond {
+			t.Fatalf("delivery at %v outside the model's [5ms, 50ms]", at)
+		}
+	}
+}
+
+// TestSeedDeterminesLinkRandomness: two networks built from the same seed
+// replay identical per-packet loss and jitter decisions; a different seed
+// diverges. This is the property that keeps lossy campaigns byte-identical
+// at any worker count — link RNG state derives from the run seed alone.
+func TestSeedDeterminesLinkRandomness(t *testing.T) {
+	run := func(seed int64) []time.Duration {
+		model := &netem.Path{
+			Delay: netem.Uniform{Min: time.Millisecond, Max: 20 * time.Millisecond},
+			Loss:  &netem.GilbertElliott{PGB: 0.1, PBG: 0.5, LossBad: 1},
+		}
+		n, a, b := twoHosts(t, WithPathModel(model), WithSeed(seed))
+		var arrivals []time.Duration
+		b.HandleUDP(53, func(ipv4.Addr, uint16, []byte) {
+			arrivals = append(arrivals, n.Clock().Now().Sub(t0))
+		})
+		for i := 0; i < 100; i++ {
+			a.SendUDP(addrB, 1, 53, []byte("x"))
+		}
+		n.Clock().RunFor(time.Second)
+		return arrivals
+	}
+	a1, a2 := run(42), run(42)
+	if len(a1) != len(a2) {
+		t.Fatalf("same seed delivered %d vs %d packets", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed, packet %d delivered at %v vs %v", i, a1[i], a2[i])
+		}
+	}
+	b1 := run(43)
+	if len(a1) == len(b1) {
+		same := true
+		for i := range a1 {
+			if a1[i] != b1[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical link behaviour")
+		}
+	}
+}
+
+// TestWithLossShimMatchesLossRatePlusSeed: the deprecated WithLoss(p,
+// seed) must behave packet-for-packet like WithLossRate(p) + WithSeed(seed).
+func TestWithLossShimMatchesLossRatePlusSeed(t *testing.T) {
+	deliveries := func(opts ...Option) int {
+		n, a, b := twoHosts(t, opts...)
+		got := 0
+		b.HandleUDP(53, func(ipv4.Addr, uint16, []byte) { got++ })
+		for i := 0; i < 200; i++ {
+			a.SendUDP(addrB, 1, 53, []byte("x"))
+		}
+		n.Clock().RunFor(time.Second)
+		return got
+	}
+	shim := deliveries(WithLoss(0.25, 7))
+	split := deliveries(WithLossRate(0.25), WithSeed(7))
+	if shim != split || shim == 0 || shim == 200 {
+		t.Errorf("WithLoss shim delivered %d packets, WithLossRate+WithSeed %d", shim, split)
 	}
 }
 
