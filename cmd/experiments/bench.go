@@ -6,8 +6,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"dnstime"
@@ -50,11 +52,15 @@ type benchDoc struct {
 
 // benchConfig holds the parsed bench-subcommand flags.
 type benchConfig struct {
-	seeds   int
-	workers int
-	fast    bool
-	only    string
-	out     string
+	seeds     int
+	workers   int
+	fast      bool
+	only      string
+	out       string
+	compare   string
+	in        string
+	tolerance float64
+	driftOnly bool
 }
 
 // benchFlagSet declares the bench flag surface (the README command
@@ -66,6 +72,10 @@ func benchFlagSet(cfg *benchConfig) *flag.FlagSet {
 	fs.BoolVar(&cfg.fast, "fast", false, "shrink the slowest scenarios' populations")
 	fs.StringVar(&cfg.only, "only", "", "comma-separated scenario subset (default: all)")
 	fs.StringVar(&cfg.out, "o", "", "write the JSON document to this file (default: stdout)")
+	fs.StringVar(&cfg.compare, "compare", "", "baseline JSON document; exit non-zero on throughput regression or headline-metric drift")
+	fs.StringVar(&cfg.in, "in", "", "compare this JSON document instead of running the benchmarks (needs -compare)")
+	fs.Float64Var(&cfg.tolerance, "tolerance", 0.15, "allowed fractional runs/sec regression against -compare")
+	fs.BoolVar(&cfg.driftOnly, "drift-only", false, "with -compare: check only deterministic headline-metric drift, not runs/sec (for cross-machine gates)")
 	return fs
 }
 
@@ -88,6 +98,21 @@ func runBench(ctx context.Context, argv []string, w io.Writer) error {
 	}
 	if cfg.seeds <= 0 {
 		return fmt.Errorf("-seeds must be positive (got %d)", cfg.seeds)
+	}
+	if cfg.tolerance < 0 || cfg.tolerance >= 1 {
+		return fmt.Errorf("-tolerance must be a fraction in [0, 1) (got %v)", cfg.tolerance)
+	}
+	if cfg.in != "" {
+		// Pure document-vs-document mode: the trajectory check CI runs over
+		// the committed BENCH_<n>.json files, with no fresh benchmark run.
+		if cfg.compare == "" {
+			return fmt.Errorf("-in needs -compare (a document to check against)")
+		}
+		current, err := loadBenchDoc(cfg.in)
+		if err != nil {
+			return err
+		}
+		return compareAgainstBaseline(current, cfg, nil, w)
 	}
 	names, err := selectScenarios(cfg.only)
 	if err != nil {
@@ -142,15 +167,183 @@ func runBench(ctx context.Context, argv []string, w io.Writer) error {
 	doc.TotalSeconds = time.Since(start).Seconds()
 	doc.TotalRunsPerSec = float64(totalRuns) / doc.TotalSeconds
 
+	out := w
 	if cfg.out != "" {
 		f, err := os.Create(cfg.out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		w = f
+		out = f
 	}
-	enc := json.NewEncoder(w)
+	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if cfg.compare != "" {
+		// A -only run benchmarks a subset: compare only those scenarios
+		// (and skip the whole-registry total) instead of reporting every
+		// unselected scenario as disappeared.
+		var subset map[string]bool
+		if cfg.only != "" {
+			subset = make(map[string]bool, len(names))
+			for _, name := range names {
+				subset[name] = true
+			}
+		}
+		return compareAgainstBaseline(doc, cfg, subset, w)
+	}
+	return nil
+}
+
+// loadBenchDoc reads a bench JSON document from disk.
+func loadBenchDoc(path string) (benchDoc, error) {
+	var doc benchDoc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("bench document %s does not parse: %w", path, err)
+	}
+	return doc, nil
+}
+
+// compareAgainstBaseline loads the -compare baseline, reports every
+// problem on stderr and returns an error when any was found — the CI
+// trajectory gate. A non-nil subset restricts the comparison to those
+// scenarios (the -only case).
+func compareAgainstBaseline(current benchDoc, cfg benchConfig, subset map[string]bool, w io.Writer) error {
+	baseline, err := loadBenchDoc(cfg.compare)
+	if err != nil {
+		return err
+	}
+	problems := compareBenchDocs(current, baseline, compareOptions{
+		tolerance: cfg.tolerance,
+		driftOnly: cfg.driftOnly,
+		subset:    subset,
+	})
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "bench compare:", p)
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%d regression(s) against baseline %s", len(problems), cfg.compare)
+	}
+	fmt.Fprintf(w, "bench compare: no regression against %s (tolerance %.0f%%)\n",
+		cfg.compare, 100*cfg.tolerance)
+	return nil
+}
+
+// benchNoiseFloor is the smallest baseline campaign wall-clock (seconds)
+// whose per-scenario throughput is enforced: sub-floor campaigns finish
+// in a few timer quanta, where runs/sec is scheduling noise rather than
+// a performance signal. Their headline metrics are still checked.
+const benchNoiseFloor = 0.1
+
+// driftTolerance bounds the relative headline-metric difference treated
+// as "the same number": campaign metrics are deterministic per seed, so
+// anything beyond float formatting noise is a behaviour change.
+const driftTolerance = 1e-9
+
+// compareOptions tunes one baseline comparison.
+type compareOptions struct {
+	// tolerance is the allowed fractional runs/sec regression.
+	tolerance float64
+	// driftOnly skips the runs/sec checks — the machine-independent
+	// mode: headline metrics are deterministic per seed, throughput is
+	// not, so a gate comparing documents from different hardware checks
+	// drift only.
+	driftOnly bool
+	// subset, when non-nil, restricts the comparison to these scenarios
+	// and skips the whole-registry total (the -only case).
+	subset map[string]bool
+}
+
+// compareBenchDocs checks a current bench document against a baseline
+// and describes every regression found: a scenario whose runs/sec fell
+// more than the tolerance below the baseline (when the baseline's
+// campaign ran long enough to time), a slower whole-registry
+// throughput, a scenario that disappeared, and — when the two documents
+// ran the same seeds and fast mode — any drift in the deterministic
+// headline numbers (runs, errors, success rate, metric means).
+// Scenarios only present in the current document are new work, not
+// regressions.
+func compareBenchDocs(current, baseline benchDoc, opts compareOptions) []string {
+	var problems []string
+	curByName := make(map[string]benchEntry, len(current.Scenarios))
+	for _, e := range current.Scenarios {
+		curByName[e.Scenario] = e
+	}
+	tol := opts.tolerance
+	sameConfig := current.Seeds == baseline.Seeds && current.Fast == baseline.Fast
+	for _, base := range baseline.Scenarios {
+		if opts.subset != nil && !opts.subset[base.Scenario] {
+			continue
+		}
+		cur, ok := curByName[base.Scenario]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("scenario %s disappeared from the bench document", base.Scenario))
+			continue
+		}
+		if !opts.driftOnly && base.Seconds >= benchNoiseFloor && cur.RunsPerSec < (1-tol)*base.RunsPerSec {
+			problems = append(problems, fmt.Sprintf("scenario %s: %.1f runs/sec, more than %.0f%% below baseline %.1f",
+				base.Scenario, cur.RunsPerSec, 100*tol, base.RunsPerSec))
+		}
+		if sameConfig {
+			problems = append(problems, driftProblems(cur, base)...)
+		}
+	}
+	if !opts.driftOnly && opts.subset == nil &&
+		current.TotalRunsPerSec < (1-tol)*baseline.TotalRunsPerSec {
+		problems = append(problems, fmt.Sprintf("total throughput %.1f runs/sec, more than %.0f%% below baseline %.1f",
+			current.TotalRunsPerSec, 100*tol, baseline.TotalRunsPerSec))
+	}
+	return problems
+}
+
+// driftProblems describes headline-metric drift between two entries for
+// the same scenario benchmarked under the same seeds and fast mode —
+// numbers that determinism pins exactly, so any drift means the
+// scenario's behaviour changed. Metrics that only exist in the current
+// entry are new measurements, not drift.
+func driftProblems(cur, base benchEntry) []string {
+	var problems []string
+	name := base.Scenario
+	if cur.Runs != base.Runs || cur.Errors != base.Errors {
+		problems = append(problems, fmt.Sprintf("scenario %s: runs/errors %d/%d, baseline %d/%d",
+			name, cur.Runs, cur.Errors, base.Runs, base.Errors))
+	}
+	switch {
+	case (cur.SuccessRatePct == nil) != (base.SuccessRatePct == nil):
+		problems = append(problems, fmt.Sprintf("scenario %s: success rate presence changed", name))
+	case base.SuccessRatePct != nil && !nearlyEqual(*cur.SuccessRatePct, *base.SuccessRatePct):
+		problems = append(problems, fmt.Sprintf("scenario %s: success rate drifted %.6f%% -> %.6f%%",
+			name, *base.SuccessRatePct, *cur.SuccessRatePct))
+	}
+	metrics := make([]string, 0, len(base.MetricMeans))
+	for metric := range base.MetricMeans {
+		metrics = append(metrics, metric)
+	}
+	sort.Strings(metrics)
+	for _, metric := range metrics {
+		want := base.MetricMeans[metric]
+		got, ok := cur.MetricMeans[metric]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("scenario %s: metric %s disappeared", name, metric))
+			continue
+		}
+		if !nearlyEqual(got, want) {
+			problems = append(problems, fmt.Sprintf("scenario %s: metric %s drifted %v -> %v", name, metric, want, got))
+		}
+	}
+	return problems
+}
+
+// nearlyEqual reports whether two headline values agree within float
+// formatting noise.
+func nearlyEqual(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= driftTolerance*math.Max(scale, 1)
 }

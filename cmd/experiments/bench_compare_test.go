@@ -1,0 +1,244 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// compareDocs builds a baseline document with one well-timed scenario.
+func compareBaseline() benchDoc {
+	rate := 100.0
+	return benchDoc{
+		Seeds: 16, Workers: 4, GoMaxProcs: 4,
+		TotalSeconds: 2, TotalRunsPerSec: 120,
+		Scenarios: []benchEntry{
+			{
+				Scenario: "boot", Runs: 16, Errors: 0,
+				Seconds: 1, RunsPerSec: 200, SuccessRatePct: &rate,
+				MetricMeans: map[string]float64{"offset_s": -500, "tts_s": 192},
+			},
+			{
+				// Sub-noise-floor campaign: throughput is not enforced.
+				Scenario: "table3", Runs: 16, Errors: 0,
+				Seconds: 0.001, RunsPerSec: 90000,
+				MetricMeans: map[string]float64{"p1_38_3": 23.6},
+			},
+		},
+	}
+}
+
+// TestBenchCompareSelfTest is the comparator's own acceptance: identical
+// documents pass; a synthetic >15% runs/sec regression, a disappeared
+// scenario and headline-metric drift each fail with a message naming the
+// culprit; sub-noise-floor throughput wobble and brand-new scenarios do
+// not fail.
+func TestBenchCompareSelfTest(t *testing.T) {
+	base := compareBaseline()
+	if problems := compareBenchDocs(base, base, compareOptions{tolerance: 0.15}); len(problems) != 0 {
+		t.Fatalf("identical documents flagged: %v", problems)
+	}
+
+	// 20% scenario regression plus a slower registry: both reported.
+	slow := compareBaseline()
+	slow.Scenarios[0].RunsPerSec = 160
+	slow.TotalRunsPerSec = 90
+	problems := compareBenchDocs(slow, base, compareOptions{tolerance: 0.15})
+	if len(problems) != 2 {
+		t.Fatalf("synthetic regression: got %v", problems)
+	}
+	if !strings.Contains(problems[0], "boot") || !strings.Contains(problems[1], "total throughput") {
+		t.Errorf("regression report does not name the culprits: %v", problems)
+	}
+	// A 10% dip stays inside the tolerance.
+	mild := compareBaseline()
+	mild.Scenarios[0].RunsPerSec = 180
+	mild.TotalRunsPerSec = 110
+	if problems := compareBenchDocs(mild, base, compareOptions{tolerance: 0.15}); len(problems) != 0 {
+		t.Errorf("10%% dip flagged at 15%% tolerance: %v", problems)
+	}
+	// Sub-noise-floor scenarios may wobble freely.
+	noisy := compareBaseline()
+	noisy.Scenarios[1].RunsPerSec = 10
+	if problems := compareBenchDocs(noisy, base, compareOptions{tolerance: 0.15}); len(problems) != 0 {
+		t.Errorf("sub-floor wobble flagged: %v", problems)
+	}
+
+	// Headline drift under the same config: success rate, metric means,
+	// disappeared metrics.
+	drift := compareBaseline()
+	r := 93.75
+	drift.Scenarios[0].SuccessRatePct = &r
+	drift.Scenarios[0].MetricMeans = map[string]float64{"offset_s": -499, "extra": 1}
+	problems = compareBenchDocs(drift, base, compareOptions{tolerance: 0.15})
+	if len(problems) != 3 {
+		t.Fatalf("drift: got %v", problems)
+	}
+	for i, want := range []string{"success rate drifted", "offset_s drifted", "tts_s disappeared"} {
+		if !strings.Contains(problems[i], want) {
+			t.Errorf("drift problem %d = %q, want mention of %q", i, problems[i], want)
+		}
+	}
+	// Different seed counts: means legitimately differ, only throughput
+	// and presence are checked.
+	other := compareBaseline()
+	other.Seeds = 64
+	other.Scenarios[0].MetricMeans["offset_s"] = -350
+	if problems := compareBenchDocs(other, base, compareOptions{tolerance: 0.15}); len(problems) != 0 {
+		t.Errorf("cross-config drift flagged: %v", problems)
+	}
+
+	// A scenario disappearing fails; a new one does not.
+	gone := compareBaseline()
+	gone.Scenarios = gone.Scenarios[:1]
+	if problems := compareBenchDocs(gone, base, compareOptions{tolerance: 0.15}); len(problems) != 1 || !strings.Contains(problems[0], "table3") {
+		t.Errorf("disappearance: got %v", problems)
+	}
+	grown := compareBaseline()
+	grown.Scenarios = append(grown.Scenarios, benchEntry{Scenario: "racemargin", Runs: 16, Seconds: 1, RunsPerSec: 50})
+	if problems := compareBenchDocs(grown, base, compareOptions{tolerance: 0.15}); len(problems) != 0 {
+		t.Errorf("new scenario flagged: %v", problems)
+	}
+
+	// driftOnly ignores throughput entirely (the cross-machine mode) but
+	// still catches drift.
+	slowDrift := compareBaseline()
+	slowDrift.Scenarios[0].RunsPerSec = 10
+	slowDrift.TotalRunsPerSec = 5
+	if problems := compareBenchDocs(slowDrift, base, compareOptions{tolerance: 0.15, driftOnly: true}); len(problems) != 0 {
+		t.Errorf("driftOnly flagged throughput: %v", problems)
+	}
+	slowDrift.Scenarios[0].MetricMeans["tts_s"] = 1
+	if problems := compareBenchDocs(slowDrift, base, compareOptions{tolerance: 0.15, driftOnly: true}); len(problems) != 1 ||
+		!strings.Contains(problems[0], "tts_s drifted") {
+		t.Errorf("driftOnly missed metric drift: %v", problems)
+	}
+
+	// A subset comparison checks only the selected scenarios: no spurious
+	// "disappeared" for unselected ones, no whole-registry total check.
+	only := compareBaseline()
+	only.Scenarios = only.Scenarios[:1]
+	only.TotalRunsPerSec = 1
+	subset := compareOptions{tolerance: 0.15, subset: map[string]bool{"boot": true}}
+	if problems := compareBenchDocs(only, base, subset); len(problems) != 0 {
+		t.Errorf("subset comparison flagged unselected scenarios: %v", problems)
+	}
+	only.Scenarios[0].RunsPerSec = 100
+	if problems := compareBenchDocs(only, base, subset); len(problems) != 1 || !strings.Contains(problems[0], "boot") {
+		t.Errorf("subset comparison missed the selected regression: %v", problems)
+	}
+}
+
+// TestRunBenchCompareCLI drives the full -in/-compare CLI path: a
+// passing comparison exits clean and reports it, a regressed document
+// exits with an error, and the flag surface is validated.
+func TestRunBenchCompareCLI(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, doc benchDoc) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", compareBaseline())
+	same := write("same.json", compareBaseline())
+	slowDoc := compareBaseline()
+	slowDoc.Scenarios[0].RunsPerSec = 100
+	slowDoc.TotalRunsPerSec = 60
+	slow := write("slow.json", slowDoc)
+
+	var out bytes.Buffer
+	if err := runBench(context.Background(), []string{"-in", same, "-compare", base}, &out); err != nil {
+		t.Fatalf("clean comparison failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "no regression") {
+		t.Errorf("clean comparison output:\n%s", out.String())
+	}
+	err := runBench(context.Background(), []string{"-in", slow, "-compare", base}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("regressed document: err = %v", err)
+	}
+	// A generous tolerance lets the same document pass.
+	if err := runBench(context.Background(), []string{"-in", slow, "-compare", base, "-tolerance", "0.6"}, io.Discard); err != nil {
+		t.Errorf("tolerance 0.6: %v", err)
+	}
+
+	for name, argv := range map[string][]string{
+		"-in without -compare": {"-in", same},
+		"missing baseline":     {"-in", same, "-compare", filepath.Join(dir, "nope.json")},
+		"missing current":      {"-in", filepath.Join(dir, "nope.json"), "-compare", base},
+		"bad tolerance":        {"-in", same, "-compare", base, "-tolerance", "1.5"},
+	} {
+		if err := runBench(context.Background(), argv, io.Discard); err == nil {
+			t.Errorf("%s: accepted (argv %v)", name, argv)
+		}
+	}
+	// A malformed document is a parse error, not a pass.
+	garbled := filepath.Join(dir, "garbled.json")
+	if err := os.WriteFile(garbled, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runBench(context.Background(), []string{"-in", garbled, "-compare", base}, io.Discard); err == nil {
+		t.Error("garbled document accepted")
+	}
+}
+
+// TestBenchDocRoundTrip: a freshly benchmarked document survives the
+// marshal → unmarshal round trip field for field — the schema the
+// committed BENCH_<n>.json baselines and the comparator rely on.
+func TestBenchDocRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := runBench(context.Background(), []string{
+		"-seeds", "2", "-fast", "-only", "boot,table3", "-o", path,
+	}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := loadBenchDoc(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc2 benchDoc
+	if err := json.Unmarshal(again, &doc2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(doc, doc2) {
+		t.Errorf("bench document does not round-trip:\n%+v\nvs\n%+v", doc, doc2)
+	}
+	// The round-tripped document compares clean against itself via the
+	// full CLI path.
+	if err := runBench(context.Background(), []string{"-in", path, "-compare", path}, io.Discard); err != nil {
+		t.Errorf("self-comparison failed: %v", err)
+	}
+	// A fresh -only run gated against the full committed baseline checks
+	// just the selected scenarios — the 15 unselected ones must not be
+	// reported as disappeared.
+	if err := runBench(context.Background(), []string{
+		"-seeds", "2", "-fast", "-only", "boot", "-compare", "../../BENCH_5.json", "-drift-only",
+	}, io.Discard); err != nil {
+		t.Errorf("-only run against full baseline failed: %v", err)
+	}
+	// The committed baseline parses under the same schema.
+	baseline, err := loadBenchDoc("../../BENCH_5.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Seeds == 0 || len(baseline.Scenarios) == 0 || baseline.TotalRunsPerSec <= 0 {
+		t.Errorf("committed baseline malformed: %+v", baseline)
+	}
+}

@@ -9,7 +9,8 @@
 //	experiments campaigns [-seeds N] [-workers M] [-json] [-fast] [-only boot,table4,...]
 //	experiments campaigns -only boot [-param client=chrony] [-checkpoint f.jsonl] [-resume f.jsonl]
 //	experiments scenarios [-markdown]
-//	experiments bench [-seeds N] [-fast] [-o BENCH_4.json]
+//	experiments bench [-seeds N] [-fast] [-o BENCH_5.json]
+//	experiments bench -compare BENCH_4.json [-in BENCH_5.json] [-tolerance 0.15] [-drift-only]
 //
 // The default (no subcommand) is the original single-seed paper
 // reproduction; -fast skips the slowest experiments (Table II's four full
@@ -24,11 +25,17 @@
 // can be picked up with `-resume`. Network conditions are params too:
 // `-param net=<profile>` runs a scenario's labs over a netem path model
 // (lan, wan, transcontinental, lossy-wifi, congested — DESIGN.md §8),
-// with `-param rtt=...`/`-param loss=...` scalar overrides. The scenarios
-// subcommand lists the registry (-markdown emits the DESIGN.md §4
-// experiment index). The bench subcommand times every scenario's campaign
-// through the Engine and emits a JSON throughput document (CI uploads it
-// as the BENCH_4.json artifact).
+// with `-param rtt=...`/`-param loss=...` scalar overrides; `-param
+// topo=<preset>` (with `-param atk-net=...`/`-param cli-net=...`
+// per-side profiles) positions the attacker on a role-based topology
+// instead (DESIGN.md §9). The scenarios subcommand lists the registry
+// (-markdown emits the DESIGN.md §4 experiment index). The bench
+// subcommand times every scenario's campaign through the Engine and
+// emits a JSON throughput document (CI uploads a fresh artifact per
+// push); with -compare it gates against a committed BENCH_<n>.json
+// baseline, exiting non-zero on a >15% runs/sec regression or
+// headline-metric drift (-in compares an existing document instead of
+// re-running).
 package main
 
 import (

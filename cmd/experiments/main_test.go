@@ -343,6 +343,12 @@ func TestRunCampaignsNetParamDeterministic(t *testing.T) {
 		{"-only", "boot", "-param", "net=lossy-wifi"},
 		{"-only", "boot", "-param", "net=congested", "-param", "loss=0.05"},
 		{"-only", "chronos", "-param", "net=transcontinental"},
+		// Asymmetric role-based topologies: per-directed-link stateful
+		// loss (cli-net=lossy-wifi) and the preset sweepers must stay
+		// byte-identical across worker counts too.
+		{"-only", "boot", "-param", "topo=near-attacker", "-param", "cli-net=lossy-wifi"},
+		{"-only", "chronos", "-param", "topo=colo", "-param", "atk-net=lan"},
+		{"-only", "racemargin", "-param", "vic-net=lossy-wifi"},
 	} {
 		argv := argv
 		t.Run(strings.Join(argv, " "), func(t *testing.T) {
@@ -395,6 +401,70 @@ func TestRunCampaignsBadNetParam(t *testing.T) {
 		if err == nil && !strings.Contains(out.String(), "errors 1") {
 			t.Errorf("%s: run accepted without errors (argv %v):\n%s", name, argv, out.String())
 		}
+	}
+}
+
+// TestRunCampaignsTopoUniformByteIdentical is the tentpole's
+// compatibility acceptance at the CLI level: a default-config campaign
+// (no topology) and the same campaign under `topo=uniform` emit
+// byte-identical per-seed results and aggregates at any worker count —
+// the global Path really is the topology's uniform special case.
+func TestRunCampaignsTopoUniformByteIdentical(t *testing.T) {
+	render := func(workers string, params ...string) string {
+		t.Helper()
+		var out bytes.Buffer
+		argv := append([]string{"-seeds", "4", "-workers", workers, "-only", "boot", "-json", "-perrun", "-q"}, params...)
+		if err := runCampaigns(context.Background(), argv, &out); err != nil {
+			t.Fatal(err)
+		}
+		// The -json envelope echoes the params; only the scenario
+		// aggregates must match byte for byte.
+		var doc campaignOutput
+		if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+			t.Fatal(err)
+		}
+		aggs, err := json.Marshal(doc.Scenarios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(aggs)
+	}
+	plain := render("1")
+	for _, workers := range []string{"1", "8"} {
+		if under := render(workers, "-param", "topo=uniform"); under != plain {
+			t.Errorf("topo=uniform at -workers %s differs from the default campaign:\n%s\nvs\n%s",
+				workers, under, plain)
+		}
+	}
+}
+
+// TestRunCampaignsTopoParam: a topology param reaches the runs — the
+// netsweep topology axis reports preset-qualified metrics under
+// topo=all, and an unknown preset is a per-run error.
+func TestRunCampaignsTopoParam(t *testing.T) {
+	var out bytes.Buffer
+	err := runCampaigns(context.Background(), []string{
+		"-seeds", "2", "-only", "netsweep", "-param", "topo=all", "-q",
+	}, &out)
+	if err != nil {
+		t.Fatalf("netsweep topo=all: %v", err)
+	}
+	for _, key := range []string{"shifted/near-attacker/wan", "shifted/colo/lab", "shifted/far-attacker/congested"} {
+		if !strings.Contains(out.String(), key) {
+			t.Errorf("netsweep topo=all output missing %q:\n%s", key, out.String())
+		}
+	}
+	// Param *keys* are validated up front; an unknown preset *value* is a
+	// per-run error surfaced in the aggregate's error count.
+	out.Reset()
+	err = runCampaigns(context.Background(), []string{
+		"-seeds", "1", "-only", "boot", "-param", "topo=backbone", "-q",
+	}, &out)
+	if err != nil {
+		t.Fatalf("topo=backbone aborted the campaign instead of counting a per-run error: %v", err)
+	}
+	if !strings.Contains(out.String(), "errors 1") {
+		t.Errorf("unknown preset not counted as a per-run error:\n%s", out.String())
 	}
 }
 

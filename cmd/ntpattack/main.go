@@ -3,81 +3,145 @@
 //
 // Usage:
 //
-//	ntpattack -mode boot     [-client ntpd]
+//	ntpattack -mode boot     [-client ntpd] [-net wan] [-topo near-attacker]
 //	ntpattack -mode runtime  [-client ntpd] [-scenario p1|p2]
 //	ntpattack -mode chronos  [-n 5] [-spoofed 89]
+//
+// -net runs every lab link over a netem profile (DESIGN.md §8); -topo
+// positions the attacker on a role-based topology preset instead
+// (DESIGN.md §9). The two are mutually exclusive.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"dnstime"
 )
 
+// attackConfig holds the parsed ntpattack flags.
+type attackConfig struct {
+	mode     string
+	client   string
+	scenario string
+	n        int
+	spoofed  int
+	seed     int64
+	net      string
+	topo     string
+}
+
+// attackFlagSet declares the ntpattack flag surface on a fresh FlagSet,
+// so tests drive the exact CLI parsing path.
+func attackFlagSet(cfg *attackConfig) *flag.FlagSet {
+	fs := flag.NewFlagSet("ntpattack", flag.ContinueOnError)
+	fs.StringVar(&cfg.mode, "mode", "boot", "attack mode: boot, runtime, chronos")
+	fs.StringVar(&cfg.client, "client", "ntpd", "client profile: ntpd, chrony, openntpd, ntpdate, android, ntpclient, systemd")
+	fs.StringVar(&cfg.scenario, "scenario", "p1", "run-time scenario: p1 (upstreams known) or p2 (RefID discovery)")
+	fs.IntVar(&cfg.n, "n", 5, "chronos: honest hourly queries completed before poisoning")
+	fs.IntVar(&cfg.spoofed, "spoofed", 89, "chronos: addresses in the poisoned response")
+	fs.Int64Var(&cfg.seed, "seed", 1, "deterministic seed")
+	fs.StringVar(&cfg.net, "net", "", "netem profile for every lab link (lan, wan, transcontinental, lossy-wifi, congested)")
+	fs.StringVar(&cfg.topo, "topo", "", "role-based topology preset (uniform, near-attacker, far-attacker, colo)")
+	return fs
+}
+
 func main() {
-	mode := flag.String("mode", "boot", "attack mode: boot, runtime, chronos")
-	clientName := flag.String("client", "ntpd", "client profile: ntpd, chrony, openntpd, ntpdate, android, ntpclient, systemd")
-	scenario := flag.String("scenario", "p1", "run-time scenario: p1 (upstreams known) or p2 (RefID discovery)")
-	n := flag.Int("n", 5, "chronos: honest hourly queries completed before poisoning")
-	spoofed := flag.Int("spoofed", 89, "chronos: addresses in the poisoned response")
-	seed := flag.Int64("seed", 1, "deterministic seed")
-	flag.Parse()
-	if err := run(*mode, *clientName, *scenario, *n, *spoofed, *seed); err != nil {
+	var cfg attackConfig
+	fs := attackFlagSet(&cfg)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "ntpattack:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mode, clientName, scenario string, n, spoofed int, seed int64) error {
-	cfg := dnstime.LabConfig{Seed: seed}
-	switch mode {
+// labConfig resolves the seed and network flags into a LabConfig.
+func (cfg attackConfig) labConfig() (dnstime.LabConfig, error) {
+	lab := dnstime.LabConfig{Seed: cfg.seed}
+	if cfg.net != "" && cfg.topo != "" {
+		return lab, fmt.Errorf("-net and -topo are mutually exclusive")
+	}
+	if cfg.net != "" {
+		path, err := dnstime.NetProfile(cfg.net)
+		if err != nil {
+			return lab, err
+		}
+		lab.Path = path
+	}
+	if cfg.topo != "" {
+		topo, err := dnstime.NetTopologyPreset(cfg.topo)
+		if err != nil {
+			return lab, err
+		}
+		lab.Topology = topo
+	}
+	return lab, nil
+}
+
+// run executes one attack and prints its report to w.
+func run(cfg attackConfig, w io.Writer) error {
+	lab, err := cfg.labConfig()
+	if err != nil {
+		return err
+	}
+	switch cfg.mode {
 	case "boot":
-		prof, err := dnstime.ProfileByName(clientName)
+		prof, err := dnstime.ProfileByName(cfg.client)
 		if err != nil {
 			return err
 		}
-		res, err := dnstime.RunBootTimeAttack(prof, cfg)
+		res, err := dnstime.RunBootTimeAttack(prof, lab)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("boot-time attack against %s\n", res.Profile)
-		fmt.Printf("  cache poisoned before boot: %t\n", res.Poisoned)
-		fmt.Printf("  clock shifted:              %t\n", res.Shifted)
-		fmt.Printf("  final clock offset:         %v\n", res.ClockOffset)
-		fmt.Printf("  time to shift after boot:   %v\n", res.TimeToShift.Round(1e9))
+		fmt.Fprintf(w, "boot-time attack against %s\n", res.Profile)
+		fmt.Fprintf(w, "  cache poisoned before boot: %t\n", res.Poisoned)
+		fmt.Fprintf(w, "  clock shifted:              %t\n", res.Shifted)
+		fmt.Fprintf(w, "  final clock offset:         %v\n", res.ClockOffset)
+		fmt.Fprintf(w, "  time to shift after boot:   %v\n", res.TimeToShift.Round(1e9))
 	case "runtime":
-		prof, err := dnstime.ProfileByName(clientName)
+		prof, err := dnstime.ProfileByName(cfg.client)
 		if err != nil {
 			return err
 		}
 		sc := dnstime.ScenarioP1
-		if strings.EqualFold(scenario, "p2") {
+		switch {
+		case strings.EqualFold(cfg.scenario, "p1"):
+		case strings.EqualFold(cfg.scenario, "p2"):
 			sc = dnstime.ScenarioP2
+		default:
+			return fmt.Errorf("unknown run-time scenario %q (want p1 or p2)", cfg.scenario)
 		}
-		res, err := dnstime.RunRuntimeAttack(prof, sc, cfg)
+		res, err := dnstime.RunRuntimeAttack(prof, sc, lab)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("run-time attack against %s (scenario %s)\n", res.Profile, res.Scenario)
-		fmt.Printf("  synced honestly first:   %t\n", res.Synced)
-		fmt.Printf("  attack succeeded:        %t\n", res.Succeeded)
-		fmt.Printf("  attack duration:         %v\n", res.Duration.Round(1e9))
-		fmt.Printf("  run-time DNS lookups:    %d\n", res.DNSLookups)
-		fmt.Printf("  final clock offset:      %v\n", res.ClockOffset)
+		fmt.Fprintf(w, "run-time attack against %s (scenario %s)\n", res.Profile, res.Scenario)
+		fmt.Fprintf(w, "  synced honestly first:   %t\n", res.Synced)
+		fmt.Fprintf(w, "  attack succeeded:        %t\n", res.Succeeded)
+		fmt.Fprintf(w, "  attack duration:         %v\n", res.Duration.Round(1e9))
+		fmt.Fprintf(w, "  run-time DNS lookups:    %d\n", res.DNSLookups)
+		fmt.Fprintf(w, "  final clock offset:      %v\n", res.ClockOffset)
 	case "chronos":
-		res, err := dnstime.RunChronosAttack(n, spoofed, cfg)
+		res, err := dnstime.RunChronosAttack(cfg.n, cfg.spoofed, lab)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("chronos attack: poisoning after N=%d honest queries (bound: %d)\n", res.N, res.Bound)
-		fmt.Printf("  final pool:        %d servers, %d attacker-controlled\n", res.PoolSize, res.EvilInPool)
-		fmt.Printf("  2/3 control:       %t\n", res.ControlsPool)
-		fmt.Printf("  clock shifted:     %t (offset %v)\n", res.Shifted, res.ClockOffset)
+		fmt.Fprintf(w, "chronos attack: poisoning after N=%d honest queries (bound: %d)\n", res.N, res.Bound)
+		fmt.Fprintf(w, "  final pool:        %d servers, %d attacker-controlled\n", res.PoolSize, res.EvilInPool)
+		fmt.Fprintf(w, "  2/3 control:       %t\n", res.ControlsPool)
+		fmt.Fprintf(w, "  clock shifted:     %t (offset %v)\n", res.Shifted, res.ClockOffset)
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return fmt.Errorf("unknown mode %q", cfg.mode)
 	}
 	return nil
 }

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// parseArgs runs the real flag set over argv.
+func parseArgs(t *testing.T, argv ...string) (attackConfig, error) {
+	t.Helper()
+	var cfg attackConfig
+	fs := attackFlagSet(&cfg)
+	fs.SetOutput(io.Discard)
+	err := fs.Parse(argv)
+	return cfg, err
+}
+
+// TestFlagDefaults: a bare invocation parses to the documented defaults
+// (boot attack against ntpd at seed 1 on the default lab link).
+func TestFlagDefaults(t *testing.T) {
+	cfg, err := parseArgs(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := attackConfig{mode: "boot", client: "ntpd", scenario: "p1", n: 5, spoofed: 89, seed: 1}
+	if cfg != want {
+		t.Errorf("defaults = %+v, want %+v", cfg, want)
+	}
+}
+
+// TestFlagParsing: every documented flag reaches its config field, and
+// unknown flags are rejected by the parser.
+func TestFlagParsing(t *testing.T) {
+	cfg, err := parseArgs(t,
+		"-mode", "runtime", "-client", "chrony", "-scenario", "p2",
+		"-n", "7", "-spoofed", "45", "-seed", "9", "-topo", "near-attacker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := attackConfig{mode: "runtime", client: "chrony", scenario: "p2",
+		n: 7, spoofed: 45, seed: 9, topo: "near-attacker"}
+	if cfg != want {
+		t.Errorf("parsed = %+v, want %+v", cfg, want)
+	}
+	if _, err := parseArgs(t, "-fastmode"); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if _, err := parseArgs(t, "-n", "many"); err == nil {
+		t.Error("non-integer -n accepted")
+	}
+}
+
+// TestRunErrorPaths: run rejects unknown modes, client profiles
+// (the ProfileByName error path), run-time scenarios, net profiles,
+// topology presets, and the -net/-topo combination — each error naming
+// the offending value.
+func TestRunErrorPaths(t *testing.T) {
+	base := func() attackConfig {
+		cfg, err := parseArgs(t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg
+	}
+	cases := map[string]struct {
+		mutate func(*attackConfig)
+		want   string
+	}{
+		"unknown mode":     {func(c *attackConfig) { c.mode = "teardown" }, "teardown"},
+		"unknown client":   {func(c *attackConfig) { c.client = "swatch" }, "swatch"},
+		"runtime client":   {func(c *attackConfig) { c.mode = "runtime"; c.client = "swatch" }, "swatch"},
+		"unknown scenario": {func(c *attackConfig) { c.mode = "runtime"; c.scenario = "p3" }, "p3"},
+		"unknown net":      {func(c *attackConfig) { c.net = "dialup" }, "dialup"},
+		"unknown topo":     {func(c *attackConfig) { c.topo = "backbone" }, "backbone"},
+		"net and topo":     {func(c *attackConfig) { c.net = "wan"; c.topo = "colo" }, "mutually exclusive"},
+	}
+	for name, tc := range cases {
+		cfg := base()
+		tc.mutate(&cfg)
+		err := run(cfg, io.Discard)
+		if err == nil {
+			t.Errorf("%s: accepted (%+v)", name, cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestRunBootReport: the boot attack runs end to end and reports a
+// shifted clock; -topo near-attacker keeps it working from the preset's
+// asymmetric position.
+func TestRunBootReport(t *testing.T) {
+	for _, topo := range []string{"", "near-attacker"} {
+		cfg, err := parseArgs(t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.topo = topo
+		var out bytes.Buffer
+		if err := run(cfg, &out); err != nil {
+			t.Fatalf("topo %q: %v", topo, err)
+		}
+		if !strings.Contains(out.String(), "clock shifted:              true") {
+			t.Errorf("topo %q: boot report did not shift:\n%s", topo, out.String())
+		}
+	}
+}
+
+// TestRunChronosReport: the chronos mode reports pool takeover.
+func TestRunChronosReport(t *testing.T) {
+	cfg, err := parseArgs(t, "-mode", "chronos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2/3 control:       true") {
+		t.Errorf("chronos report:\n%s", out.String())
+	}
+}

@@ -73,6 +73,60 @@ type (
 	PathModel = netem.PathModel
 	// NetPath is the basic composable path model (delay + loss + reorder).
 	NetPath = netem.Path
+	// NetFixed is the constant latency distribution (consumes no
+	// randomness — the default-lab building block).
+	NetFixed = netem.Fixed
+)
+
+// Role-based lab topology (DESIGN.md §9): instead of one uniform path, a
+// NetTopology assigns path models by role pair — attacker↔resolver,
+// client↔resolver, resolver↔nameserver, … — so the off-path attacker can
+// race the legitimate answer from a better (or worse) network position.
+// Select per lab via LabConfig.Topology or per campaign via the
+// topo/atk-net/cli-net scenario params.
+type (
+	// NetTopology assigns path models by role pair; labs compile it to
+	// per-directed-link overrides as hosts join.
+	NetTopology = netem.Topology
+	// NetRole names a host's network position (attacker, resolver, …).
+	NetRole = netem.Role
+	// NetRolePair is one directed role→role link class.
+	NetRolePair = netem.RolePair
+)
+
+// The lab's built-in network roles.
+const (
+	// NetRoleAttacker is the off-path attacker's vantage point.
+	NetRoleAttacker = netem.RoleAttacker
+	// NetRoleEvilServer is an attacker-operated NTP server.
+	NetRoleEvilServer = netem.RoleEvilServer
+	// NetRoleResolver is the victim network's recursive resolver.
+	NetRoleResolver = netem.RoleResolver
+	// NetRoleNameserver is the pool.ntp.org authoritative nameserver.
+	NetRoleNameserver = netem.RoleNameserver
+	// NetRoleNTPServer is an honest pool NTP server.
+	NetRoleNTPServer = netem.RoleNTPServer
+	// NetRoleClient is a victim NTP (or Chronos) client.
+	NetRoleClient = netem.RoleClient
+	// NetRoleAny is the role wildcard for topology links.
+	NetRoleAny = netem.RoleAny
+)
+
+// Topology entry points.
+var (
+	// NewNetTopology returns an empty topology (every link follows its
+	// Default path).
+	NewNetTopology = netem.NewTopology
+	// NetTopologyPreset returns a fresh named topology preset
+	// (uniform, near-attacker, far-attacker, colo).
+	NetTopologyPreset = netem.TopologyPreset
+	// NetTopologyNames lists the built-in topology presets, sorted.
+	NetTopologyNames = netem.TopologyNames
+	// NetTopologyDescription returns a preset's one-line description.
+	NetTopologyDescription = netem.TopologyDescription
+	// NetTopologyFromSpec builds a topology from a preset name plus
+	// per-side profile overrides (the topo/atk-net/cli-net code path).
+	NetTopologyFromSpec = netem.TopologyFromSpec
 )
 
 // Network-condition emulation entry points.

@@ -25,8 +25,8 @@ func builtinScenarios() []scenario.Scenario {
 func TestScenarioRegistryComplete(t *testing.T) {
 	want := []string{
 		"boot", "runtime", "table1", "table2", "table3", "chronos",
-		"chronosbound", "netsweep", "ratelimit", "nsfrag", "fig5",
-		"table4", "fig6", "table5", "shared", "fig7",
+		"chronosbound", "netsweep", "racemargin", "ratelimit", "nsfrag",
+		"fig5", "table4", "fig6", "table5", "shared", "fig7",
 	}
 	names := map[string]bool{}
 	for _, s := range builtinScenarios() {

@@ -72,6 +72,14 @@ type LabConfig struct {
 	// seed. Stateful models must be fresh per lab (netem.Profile and
 	// netem.FromSpec return fresh instances each call).
 	Path netem.PathModel
+	// Topology assigns path conditions by network position instead of
+	// uniformly: a netem.Topology maps role pairs (attacker↔resolver,
+	// client↔resolver, resolver↔nameserver, …) to path models, and the
+	// lab compiles it into per-directed-link overrides as hosts join
+	// (DESIGN.md §9). nil keeps the uniform Path on every link — the
+	// byte-identical special case. Path and Topology are mutually
+	// exclusive: fold a uniform path into Topology.Default instead.
+	Topology *netem.Topology
 }
 
 func (c *LabConfig) applyDefaults() {
@@ -107,6 +115,7 @@ type Lab struct {
 	Eve      *attack.Attacker
 
 	cfg        LabConfig
+	topo       *netem.Compiler
 	honestAddr []ipv4.Addr
 	evilAddr   []ipv4.Addr
 	nextClient byte
@@ -117,25 +126,43 @@ type Lab struct {
 // the honest servers, victim resolver, attacker servers and attacker host.
 func NewLab(cfg LabConfig) (*Lab, error) {
 	cfg.applyDefaults()
+	if cfg.Path != nil && cfg.Topology != nil {
+		return nil, errors.New("core: LabConfig.Path and Topology are mutually exclusive (set the uniform path as Topology.Default)")
+	}
 	clk := simclock.New(time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC))
 	// Link randomness (loss, jitter, reordering under non-default path
 	// models) derives from the lab seed — never from a global or pinned
 	// source — so campaigns replay byte-identically at any worker count.
-	net := simnet.New(clk, simnet.WithSeed(cfg.Seed+3), simnet.WithPathModel(cfg.Path))
+	opts := []simnet.Option{simnet.WithSeed(cfg.Seed + 3)}
+	var topo *netem.Compiler
+	if cfg.Topology != nil {
+		// The compiled model is live: every host the lab adds (including
+		// clients attached mid-run) registers its role and receives the
+		// topology's per-directed-link models.
+		topo = cfg.Topology.Compiler()
+		opts = append(opts, simnet.WithPathModel(topo.Model()))
+	} else {
+		opts = append(opts, simnet.WithPathModel(cfg.Path))
+	}
+	l := &Lab{
+		Clock: clk,
+		Net:   simnet.New(clk, opts...),
+		cfg:   cfg,
+		topo:  topo,
+	}
 
-	authHost, err := net.AddHost(NSAddr, simnet.HostConfig{})
+	authHost, err := l.addHost(NSAddr, netem.RoleNameserver, simnet.HostConfig{})
 	if err != nil {
 		return nil, err
 	}
-	auth, err := dnsauth.New(authHost, dnsauth.Config{PadResponsesTo: cfg.PadResponses})
+	if l.Auth, err = dnsauth.New(authHost, dnsauth.Config{PadResponsesTo: cfg.PadResponses}); err != nil {
+		return nil, err
+	}
+	resHost, err := l.addHost(ResolverAddr, netem.RoleResolver, simnet.HostConfig{})
 	if err != nil {
 		return nil, err
 	}
-	resHost, err := net.AddHost(ResolverAddr, simnet.HostConfig{})
-	if err != nil {
-		return nil, err
-	}
-	res, err := dnsres.New(resHost, dnsres.Config{
+	l.Resolver, err = dnsres.New(resHost, dnsres.Config{
 		Delegations:    map[string]ipv4.Addr{"ntp.org": NSAddr},
 		ValidateDNSSEC: cfg.ResolverValidatesDNSSEC,
 		RandSeed:       cfg.Seed + 1,
@@ -143,19 +170,11 @@ func NewLab(cfg LabConfig) (*Lab, error) {
 	if err != nil {
 		return nil, err
 	}
-	eveHost, err := net.AddHost(AttackerAddr, simnet.HostConfig{})
+	eveHost, err := l.addHost(AttackerAddr, netem.RoleAttacker, simnet.HostConfig{})
 	if err != nil {
 		return nil, err
 	}
-
-	l := &Lab{
-		Clock:    clk,
-		Net:      net,
-		Auth:     auth,
-		Resolver: res,
-		Eve:      attack.New(eveHost, cfg.Seed+2),
-		cfg:      cfg,
-	}
+	l.Eve = attack.New(eveHost, cfg.Seed+2)
 	for i := 0; i < cfg.HonestServers; i++ {
 		if err := l.addHonest(); err != nil {
 			return nil, err
@@ -169,7 +188,7 @@ func NewLab(cfg LabConfig) (*Lab, error) {
 	// The pool answers with the full honest set per response, keeping the
 	// template predictable (rotation-vs-prediction is an ablation in
 	// internal/attack's tests and bench_test.go).
-	auth.AddPool(&dnsauth.Pool{
+	l.Auth.AddPool(&dnsauth.Pool{
 		Name:        PoolDomain,
 		Addrs:       append([]ipv4.Addr(nil), l.honestAddr...),
 		PerResponse: len(l.honestAddr),
@@ -190,6 +209,19 @@ func MustNewLab(cfg LabConfig) *Lab {
 // Config returns the lab configuration (with defaults applied).
 func (l *Lab) Config() LabConfig { return l.cfg }
 
+// addHost attaches a host and, when the lab runs a topology, registers
+// its network role so the compiled per-link models cover it.
+func (l *Lab) addHost(addr ipv4.Addr, role netem.Role, hc simnet.HostConfig) (*simnet.Host, error) {
+	host, err := l.Net.AddHost(addr, hc)
+	if err != nil {
+		return nil, err
+	}
+	if l.topo != nil {
+		l.topo.Add(addr, role)
+	}
+	return host, nil
+}
+
 // HonestAddrs returns the honest NTP server addresses.
 func (l *Lab) HonestAddrs() []ipv4.Addr { return append([]ipv4.Addr(nil), l.honestAddr...) }
 
@@ -198,7 +230,7 @@ func (l *Lab) EvilAddrs() []ipv4.Addr { return append([]ipv4.Addr(nil), l.evilAd
 
 func (l *Lab) addHonest() error {
 	addr := ipv4.Addr{10, 0, byte(len(l.honestAddr) >> 8), byte(len(l.honestAddr) + 1)}
-	host, err := l.Net.AddHost(addr, simnet.HostConfig{})
+	host, err := l.addHost(addr, netem.RoleNTPServer, simnet.HostConfig{})
 	if err != nil {
 		return err
 	}
@@ -215,7 +247,7 @@ func (l *Lab) addHonest() error {
 
 func (l *Lab) addEvil() error {
 	addr := ipv4.Addr{6, 6, byte(len(l.evilAddr) >> 8), byte(len(l.evilAddr) + 1)}
-	host, err := l.Net.AddHost(addr, simnet.HostConfig{})
+	host, err := l.addHost(addr, netem.RoleEvilServer, simnet.HostConfig{})
 	if err != nil {
 		return err
 	}
@@ -244,7 +276,7 @@ func (l *Lab) NewClient(prof ntpclient.Profile, clockErr time.Duration) (*ntpcli
 	l.nextClient++
 	l.seedStep++
 	addr := ipv4.Addr{192, 0, 2, 100 + l.nextClient}
-	host, err := l.Net.AddHost(addr, simnet.HostConfig{})
+	host, err := l.addHost(addr, netem.RoleClient, simnet.HostConfig{})
 	if err != nil {
 		return nil, err
 	}
@@ -255,7 +287,7 @@ func (l *Lab) NewClient(prof ntpclient.Profile, clockErr time.Duration) (*ntpcli
 func (l *Lab) NewChronos(cfg chronos.Config) (*chronos.Client, error) {
 	l.nextClient++
 	addr := ipv4.Addr{192, 0, 2, 100 + l.nextClient}
-	host, err := l.Net.AddHost(addr, simnet.HostConfig{})
+	host, err := l.addHost(addr, netem.RoleClient, simnet.HostConfig{})
 	if err != nil {
 		return nil, err
 	}

@@ -24,8 +24,8 @@ func init() {
 		PaperRef:  "beyond §IV–§VI",
 		Impl:      "core.netsweepScenario",
 		CLI:       "experiments campaigns -only netsweep",
-		Params:    map[string]string{"attack": "boot", "profiles": "all"},
-		ParamKeys: []string{"attack", "client", "scenario", "N", "spoofed"},
+		Params:    map[string]string{"attack": "boot", "profiles": "all", "topo": "uniform"},
+		ParamKeys: []string{"attack", "client", "scenario", "N", "spoofed", "topo"},
 		Order:     65,
 		Run:       netsweepScenario,
 	})
@@ -37,6 +37,13 @@ func init() {
 // poisoning never lands, the client never synchronises honestly — counts
 // as an unsuccessful run on that profile, not an error: "the attack does
 // not survive this path" is the measurement.
+//
+// The topo param adds a topology axis: topo=<preset> reruns the profile
+// grid under that role-based topology, each profile supplying the
+// victim-side default while the preset pins the attacker's position
+// (metric keys unchanged); topo=all sweeps every preset, keying metrics
+// "shifted/<preset>/<profile>". Absent topo keeps the uniform grid and
+// its historical metric keys byte-for-byte.
 func netsweepScenario(_ context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
 	attack := cfg.Params.Str("attack", "boot")
 	switch attack {
@@ -44,32 +51,70 @@ func netsweepScenario(_ context.Context, seed int64, cfg scenario.Config) (scena
 	default:
 		return scenario.Result{}, fmt.Errorf("core: unknown netsweep attack %q (want boot, runtime or chronos)", attack)
 	}
-	metrics := make(map[string]float64, 2*len(netem.ProfileNames()))
-	allShifted := true
-	for _, name := range netem.ProfileNames() {
-		path, err := netem.Profile(name)
-		if err != nil {
+	presets := []string{""}
+	keyed := false
+	switch topo := cfg.Params.Str("topo", ""); topo {
+	case "":
+	case "all":
+		presets = netem.TopologyNames()
+		keyed = true
+	default:
+		if _, err := netem.TopologyPreset(topo); err != nil {
 			return scenario.Result{}, err
 		}
-		shifted, extra, err := runSweepAttack(attack, seed, path, cfg.Params)
-		if err != nil {
-			return scenario.Result{}, fmt.Errorf("netsweep %s on %s: %w", attack, name, err)
-		}
-		metrics["shifted/"+name] = boolMetric(shifted)
-		if !shifted {
-			allShifted = false
-		}
-		for k, v := range extra {
-			metrics[k+"/"+name] = v
+		presets = []string{topo}
+	}
+	metrics := make(map[string]float64, 2*len(presets)*len(netem.ProfileNames()))
+	allShifted := true
+	for _, preset := range presets {
+		for _, name := range netem.ProfileNames() {
+			lab, err := sweepLab(seed, preset, name)
+			if err != nil {
+				return scenario.Result{}, err
+			}
+			shifted, extra, err := runSweepAttack(attack, lab, cfg.Params)
+			if err != nil {
+				return scenario.Result{}, fmt.Errorf("netsweep %s on %s: %w", attack, name, err)
+			}
+			key := name
+			if keyed {
+				key = preset + "/" + name
+			}
+			metrics["shifted/"+key] = boolMetric(shifted)
+			if !shifted {
+				allShifted = false
+			}
+			for k, v := range extra {
+				metrics[k+"/"+key] = v
+			}
 		}
 	}
 	return scenario.Result{Success: scenario.Bool(allShifted), Metrics: metrics}, nil
 }
 
-// runSweepAttack executes one attack on one path model and classifies the
-// outcome: shifted, per-attack extra metrics, or a non-attack error.
-func runSweepAttack(attack string, seed int64, path netem.PathModel, p scenario.Params) (bool, map[string]float64, error) {
-	lab := LabConfig{Seed: seed, Path: path}
+// sweepLab builds one grid cell's lab config: the profile alone (empty
+// preset — the uniform sweep), or a fresh topology preset whose default
+// path is the profile (the topology axis).
+func sweepLab(seed int64, preset, profile string) (LabConfig, error) {
+	path, err := netem.Profile(profile)
+	if err != nil {
+		return LabConfig{}, err
+	}
+	if preset == "" {
+		return LabConfig{Seed: seed, Path: path}, nil
+	}
+	topo, err := netem.TopologyPreset(preset)
+	if err != nil {
+		return LabConfig{}, err
+	}
+	topo.Default = path
+	return LabConfig{Seed: seed, Topology: topo}, nil
+}
+
+// runSweepAttack executes one attack on one grid cell's lab and
+// classifies the outcome: shifted, per-attack extra metrics, or a
+// non-attack error.
+func runSweepAttack(attack string, lab LabConfig, p scenario.Params) (bool, map[string]float64, error) {
 	switch attack {
 	case "runtime":
 		prof, err := clientFromParams(p)

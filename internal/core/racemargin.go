@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"dnstime/internal/netem"
+	"dnstime/internal/scenario"
+)
+
+// The racemargin scenario puts the paper's off-path race in quantitative
+// form: the boot-time attack is re-run across a sweep of the attacker's
+// latency advantage over the victim's paths, under the near-attacker
+// topology preset. Each margin m gives the attacker a one-way delay of
+// NearAttackerVictimDelay − m (clamped at zero) while the victim network
+// keeps the preset's conditions, so a campaign over racemargin
+// aggregates into a success-rate-vs-margin table — at which point does
+// racing from a worse network position break the attack. The default
+// grid brackets the collapse threshold; its top margin (+28 ms)
+// reproduces the near-attacker preset exactly.
+func init() {
+	scenario.Register(scenario.Scenario{
+		Name:      "racemargin",
+		Title:     "Race-margin sweep",
+		PaperRef:  "beyond §IV-A",
+		Impl:      "core.racemarginScenario",
+		CLI:       "experiments campaigns -only racemargin",
+		Params:    map[string]string{"client": "ntpd", "margins": "10-point grid", "topo": "near-attacker"},
+		ParamKeys: []string{"client", "margins", "vic-net"},
+		Order:     66,
+		Run:       racemarginScenario,
+	})
+}
+
+// defaultMarginSpec is the default margin grid (ascending attacker
+// advantage): deep disadvantage where planting can never finish, the
+// empirically bracketed collapse threshold, and the preset's native
+// +28 ms advantage. fastMarginSpec is the Fast-mode subset — the
+// threshold bracket plus one point per side.
+const (
+	defaultMarginSpec = "-8s,-4s,-2s,-1.5s,-1.2s,-1.1s,-1s,-500ms,0s,28ms"
+	fastMarginSpec    = "-2s,-1.2s,-1.1s,28ms"
+)
+
+// parseMargins parses a comma-separated ascending margin grid.
+func parseMargins(spec string) ([]time.Duration, error) {
+	parts := strings.Split(spec, ",")
+	margins := make([]time.Duration, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		m, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, fmt.Errorf("core: margin %q is not a duration", part)
+		}
+		if len(margins) > 0 && m <= margins[len(margins)-1] {
+			return nil, fmt.Errorf("core: margins must be strictly ascending (%v after %v)", m, margins[len(margins)-1])
+		}
+		margins = append(margins, m)
+	}
+	if len(margins) == 0 {
+		return nil, errors.New("core: empty margin grid")
+	}
+	return margins, nil
+}
+
+// racemarginScenario runs the boot-time attack once per margin at the
+// given seed. Params: client selects the victim profile, margins the
+// grid (comma-separated ascending durations), vic-net replaces the
+// preset's fixed victim-side conditions with a netem profile (e.g.
+// vic-net=lossy-wifi sweeps the margin against bursty victim loss). A
+// run that cannot poison the cache counts as an unsuccessful margin, not
+// an error — "the attacker lost the race from this position" is the
+// measurement. Success reports the outcome at the grid's largest margin.
+func racemarginScenario(_ context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
+	prof, err := clientFromParams(cfg.Params)
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	spec := defaultMarginSpec
+	if cfg.Fast {
+		spec = fastMarginSpec
+	}
+	margins, err := parseMargins(cfg.Params.Str("margins", spec))
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	vicNet := cfg.Params.Str("vic-net", "")
+	if vicNet != "" {
+		if _, err := netem.Profile(vicNet); err != nil {
+			return scenario.Result{}, fmt.Errorf("vic-net: %w", err)
+		}
+	}
+	metrics := make(map[string]float64, 2*len(margins))
+	topShifted := false
+	for _, m := range margins {
+		topo, err := raceTopology(m, vicNet)
+		if err != nil {
+			return scenario.Result{}, err
+		}
+		res, err := RunBootTimeAttack(prof, LabConfig{Seed: seed, Topology: topo})
+		key := m.String()
+		switch {
+		case errors.Is(err, ErrPoisoningFailed):
+			metrics["poisoned/"+key] = 0
+			metrics["shifted/"+key] = 0
+			topShifted = false
+		case err != nil:
+			return scenario.Result{}, fmt.Errorf("racemargin %s at margin %s: %w", prof.Name, key, err)
+		default:
+			metrics["poisoned/"+key] = 1
+			metrics["shifted/"+key] = boolMetric(res.Shifted)
+			topShifted = res.Shifted
+			if res.Shifted {
+				metrics["tts_s/"+key] = res.TimeToShift.Seconds()
+			}
+		}
+	}
+	return scenario.Result{Success: scenario.Bool(topShifted), Metrics: metrics}, nil
+}
+
+// raceTopology builds one margin's lab topology: the near-attacker
+// preset with the attacker's one-way delay moved to VictimDelay − margin
+// (clamped at zero — the attacker cannot beat light) and, when vicNet is
+// set, the victim side swapped for a fresh instance of that profile.
+func raceTopology(margin time.Duration, vicNet string) (*netem.Topology, error) {
+	topo, err := netem.TopologyPreset("near-attacker")
+	if err != nil {
+		return nil, err
+	}
+	if vicNet != "" {
+		vic, err := netem.Profile(vicNet)
+		if err != nil {
+			return nil, err
+		}
+		topo.Default = vic
+	}
+	atk := netem.NearAttackerVictimDelay - margin
+	if atk < 0 {
+		atk = 0
+	}
+	fast := func() netem.PathModel { return &netem.Path{Delay: netem.Fixed(atk)} }
+	topo.SetPath(netem.RoleAttacker, netem.RoleAny, fast)
+	topo.SetPath(netem.RoleEvilServer, netem.RoleAny, fast)
+	return topo, nil
+}

@@ -10,9 +10,11 @@ import (
 )
 
 // netParamKeys are the network-condition params every lab-backed scenario
-// accepts (`-param net=wan`, `-param rtt=200ms`, `-param loss=0.02`):
-// a netem profile name plus optional scalar overrides (DESIGN.md §8).
-var netParamKeys = []string{"net", "rtt", "loss"}
+// accepts: a netem profile name plus optional scalar overrides (`-param
+// net=wan`, `-param rtt=200ms`, `-param loss=0.02`; DESIGN.md §8) and the
+// role-based topology spec (`-param topo=near-attacker`, `-param
+// atk-net=lan`, `-param cli-net=lossy-wifi`; DESIGN.md §9).
+var netParamKeys = []string{"net", "rtt", "loss", "topo", "atk-net", "cli-net"}
 
 // labParamKeys are the LabConfig knobs every attack scenario accepts as
 // campaign params (`experiments campaigns -param key=value`). Each maps
@@ -47,6 +49,29 @@ func pathFromParams(p scenario.Params) (netem.PathModel, error) {
 		return nil, nil
 	}
 	return netem.FromSpec(profile, rtt, loss)
+}
+
+// netFromParams resolves the full network-condition param surface into
+// either a uniform PathModel (net/rtt/loss only — the §8 path) or a
+// role-based Topology (topo/atk-net/cli-net present — the §9 path, with
+// any uniform spec folded in as the topology default). Exactly one of
+// the two returns non-nil; both nil means the default lab link.
+func netFromParams(p scenario.Params) (netem.PathModel, *netem.Topology, error) {
+	path, err := pathFromParams(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	preset := p.Str("topo", "")
+	atkNet := p.Str("atk-net", "")
+	cliNet := p.Str("cli-net", "")
+	if preset == "" && atkNet == "" && cliNet == "" {
+		return path, nil, nil
+	}
+	topo, err := netem.TopologyFromSpec(preset, atkNet, cliNet, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nil, topo, nil
 }
 
 // sizeParam reads a non-negative integer sizing param (0 keeps the lab
@@ -96,7 +121,7 @@ func labFromParams(seed int64, p scenario.Params) (LabConfig, error) {
 	if cfg.ResolverValidatesDNSSEC, err = p.Bool("dnssec", false); err != nil {
 		return cfg, err
 	}
-	if cfg.Path, err = pathFromParams(p); err != nil {
+	if cfg.Path, cfg.Topology, err = netFromParams(p); err != nil {
 		return cfg, err
 	}
 	return cfg, nil
@@ -239,11 +264,11 @@ func tableIScenario(_ context.Context, seed int64, cfg scenario.Config) (scenari
 	metrics := make(map[string]float64, 3*len(ntpclient.AllProfiles()))
 	allShifted := true
 	for _, pu := range ntpclient.AllProfiles() {
-		path, err := pathFromParams(cfg.Params)
+		path, topo, err := netFromParams(cfg.Params)
 		if err != nil {
 			return scenario.Result{}, err
 		}
-		boot, err := RunBootTimeAttack(pu.Profile, LabConfig{Seed: seed, Path: path})
+		boot, err := RunBootTimeAttack(pu.Profile, LabConfig{Seed: seed, Path: path, Topology: topo})
 		if err != nil {
 			return scenario.Result{}, fmt.Errorf("table I %s: %w", pu.Profile.Name, err)
 		}
@@ -269,11 +294,11 @@ func tableIScenario(_ context.Context, seed int64, cfg scenario.Config) (scenari
 func tableIIScenario(_ context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
 	metrics := make(map[string]float64, len(tableIISpecs))
 	for _, s := range tableIISpecs {
-		path, err := pathFromParams(cfg.Params)
+		path, topo, err := netFromParams(cfg.Params)
 		if err != nil {
 			return scenario.Result{}, err
 		}
-		r, err := RunRuntimeAttack(s.prof, s.scenario, LabConfig{Seed: seed, Path: path})
+		r, err := RunRuntimeAttack(s.prof, s.scenario, LabConfig{Seed: seed, Path: path, Topology: topo})
 		if err != nil {
 			return scenario.Result{}, fmt.Errorf("table II %s/%s: %w", s.prof.Name, s.scenario, err)
 		}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dnstime/internal/netem"
+	"dnstime/internal/ntpclient"
+	"dnstime/internal/scenario"
+)
+
+// TestLabPathTopologyExclusive: a LabConfig carrying both a uniform Path
+// and a Topology is a configuration error, not a silent precedence.
+func TestLabPathTopologyExclusive(t *testing.T) {
+	topo, err := netem.TopologyPreset("colo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := netem.Profile("wan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLab(LabConfig{Seed: 1, Path: path, Topology: topo}); err == nil {
+		t.Fatal("NewLab accepted Path and Topology together")
+	}
+}
+
+// TestUniformTopologyByteIdentical is the tentpole's compatibility
+// acceptance at the lab level: a lab under the uniform topology preset
+// replays the topology-free lab byte-for-byte — same attack outcome,
+// same metrics, same virtual timings — because the compiled uniform
+// topology consumes no randomness and applies the identical default
+// path. The boot and chronos attacks cover the DNS and NTP planes.
+func TestUniformTopologyByteIdentical(t *testing.T) {
+	uniform := func() *netem.Topology {
+		topo, err := netem.TopologyPreset("uniform")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return topo
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		plain, err := RunBootTimeAttack(ntpclient.ProfileNTPd, LabConfig{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		under, err := RunBootTimeAttack(ntpclient.ProfileNTPd, LabConfig{Seed: seed, Topology: uniform()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, under) {
+			t.Errorf("seed %d: boot result differs under uniform topology:\n%+v\nvs\n%+v", seed, plain, under)
+		}
+	}
+	plain, err := RunChronosAttack(5, 89, LabConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	under, err := RunChronosAttack(5, 89, LabConfig{Seed: 1, Topology: uniform()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, under) {
+		t.Errorf("chronos result differs under uniform topology:\n%+v\nvs\n%+v", plain, under)
+	}
+}
+
+// TestScenarioTopoUniformByteIdentical lifts the same acceptance to the
+// scenario layer: `-param topo=uniform` produces the byte-identical
+// Result JSON of a param-free run, for every lab-backed scenario.
+func TestScenarioTopoUniformByteIdentical(t *testing.T) {
+	for _, name := range []string{"boot", "runtime", "table1", "chronos"} {
+		render := func(params scenario.Params) string {
+			res, err := scenario.Run(context.Background(), name, 2, scenario.Config{Params: params})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			b, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(b)
+		}
+		plain := render(nil)
+		under := render(scenario.Params{"topo": "uniform"})
+		if plain != under {
+			t.Errorf("%s: Result differs under topo=uniform:\n%s\nvs\n%s", name, plain, under)
+		}
+	}
+}
+
+// TestLabFromParamsTopology: the topo/atk-net/cli-net params build a
+// Topology (folding any uniform net= spec into its default), plain
+// net/rtt/loss keep the uniform Path, and bad names fail per parameter.
+func TestLabFromParamsTopology(t *testing.T) {
+	cfg, err := labFromParams(1, scenario.Params{"topo": "near-attacker"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology == nil || cfg.Path != nil {
+		t.Errorf("topo param: Topology=%v Path=%v, want topology only", cfg.Topology, cfg.Path)
+	}
+	cfg, err = labFromParams(1, scenario.Params{"atk-net": "lan", "net": "wan"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology == nil || cfg.Path != nil {
+		t.Error("atk-net + net should fold into a topology")
+	}
+	if cfg.Topology.Default == nil {
+		t.Error("net= did not become the topology default")
+	}
+	cfg, err = labFromParams(1, scenario.Params{"net": "wan"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology != nil || cfg.Path == nil {
+		t.Error("plain net= should stay a uniform Path")
+	}
+	for name, p := range map[string]scenario.Params{
+		"unknown preset":  {"topo": "backbone"},
+		"unknown atk-net": {"atk-net": "dialup"},
+		"unknown cli-net": {"cli-net": "dialup"},
+	} {
+		if _, err := labFromParams(1, p); err == nil {
+			t.Errorf("%s accepted (%v)", name, p)
+		}
+	}
+}
+
+// TestRacemarginMonotone is the racemargin acceptance: under the
+// near-attacker preset the per-seed success-vs-margin table is monotone
+// non-decreasing in the attacker's advantage, shows both a losing and a
+// winning margin, and succeeds at the preset's native margin.
+func TestRacemarginMonotone(t *testing.T) {
+	margins, err := parseMargins(defaultMarginSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		res, err := scenario.Run(context.Background(), "racemargin", seed, scenario.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := 0.0
+		lost, won := false, false
+		for _, m := range margins {
+			v, ok := res.Metrics["shifted/"+m.String()]
+			if !ok {
+				t.Fatalf("seed %d: no shifted metric for margin %s", seed, m)
+			}
+			if v < prev {
+				t.Errorf("seed %d: success-vs-margin not monotone at %s (%v after %v)", seed, m, v, prev)
+			}
+			prev = v
+			if v == 0 {
+				lost = true
+			} else {
+				won = true
+			}
+		}
+		if !lost || !won {
+			t.Errorf("seed %d: margin table does not bracket the threshold (lost=%t won=%t)", seed, lost, won)
+		}
+		if res.Success == nil || !*res.Success {
+			t.Errorf("seed %d: attack should succeed at the grid's top margin", seed)
+		}
+	}
+}
+
+// TestRacemarginParams: the margins grid is validated (ascending,
+// durations, non-empty) and vic-net must name a profile.
+func TestRacemarginParams(t *testing.T) {
+	for name, p := range map[string]scenario.Params{
+		"not a duration": {"margins": "fast"},
+		"not ascending":  {"margins": "0s,-1s"},
+		"duplicate":      {"margins": "1s,1s"},
+		"bad vic-net":    {"vic-net": "dialup"},
+	} {
+		if _, err := scenario.Run(context.Background(), "racemargin", 1, scenario.Config{
+			Params: p,
+		}); err == nil {
+			t.Errorf("%s accepted (%v)", name, p)
+		}
+	}
+	if _, err := parseMargins(""); err == nil {
+		t.Error("empty margin spec accepted")
+	}
+	// A custom two-point grid runs and keys its metrics by margin.
+	res, err := scenario.Run(context.Background(), "racemargin", 1, scenario.Config{
+		Params: scenario.Params{"margins": "-1.1s,28ms"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"shifted/-1.1s", "shifted/28ms"} {
+		if _, ok := res.Metrics[key]; !ok {
+			t.Errorf("metric %q missing (have %v)", key, res.Metrics)
+		}
+	}
+}
+
+// TestNetsweepTopoAxis: topo=<preset> reruns the profile grid under a
+// role-based topology without changing the metric keys, and topo=all
+// fans out over every preset with preset-qualified keys.
+func TestNetsweepTopoAxis(t *testing.T) {
+	res, err := scenario.Run(context.Background(), "netsweep", 1, scenario.Config{
+		Params: scenario.Params{"topo": "near-attacker"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, profile := range netem.ProfileNames() {
+		if _, ok := res.Metrics["shifted/"+profile]; !ok {
+			t.Errorf("topo=near-attacker: metric shifted/%s missing", profile)
+		}
+	}
+	res, err = scenario.Run(context.Background(), "netsweep", 1, scenario.Config{
+		Params: scenario.Params{"topo": "all"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, preset := range netem.TopologyNames() {
+		for _, profile := range netem.ProfileNames() {
+			if _, ok := res.Metrics["shifted/"+preset+"/"+profile]; !ok {
+				t.Errorf("topo=all: metric shifted/%s/%s missing", preset, profile)
+			}
+		}
+	}
+	if _, err := scenario.Run(context.Background(), "netsweep", 1, scenario.Config{
+		Params: scenario.Params{"topo": "backbone"},
+	}); err == nil {
+		t.Error("unknown netsweep topo accepted")
+	}
+}
+
+// TestNearAttackerFasterAttack: under the near-attacker preset the
+// boot-time attack still lands, and the colo preset (attacker beside the
+// resolver) completes no slower than the far-attacker preset — the
+// position advantage is visible end to end.
+func TestNearAttackerFasterAttack(t *testing.T) {
+	times := map[string]time.Duration{}
+	for _, preset := range []string{"near-attacker", "colo", "far-attacker"} {
+		topo, err := netem.TopologyPreset(preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunBootTimeAttack(ntpclient.ProfileNTPd, LabConfig{Seed: 1, Topology: topo})
+		if err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+		if !res.Shifted {
+			t.Fatalf("%s: boot attack did not shift the clock", preset)
+		}
+		times[preset] = res.TimeToShift
+	}
+	if times["colo"] > times["far-attacker"] {
+		t.Errorf("colo attack (%v) slower than far-attacker (%v)", times["colo"], times["far-attacker"])
+	}
+}
+
+// TestTopologyDeterministicAcrossRuns: an asymmetric, stateful topology
+// (near-attacker over bursty victim loss) replays byte-identically for
+// equal seeds — the per-run property campaign workers rely on.
+func TestTopologyDeterministicAcrossRuns(t *testing.T) {
+	run := func() string {
+		res, err := scenario.Run(context.Background(), "racemargin", 3, scenario.Config{
+			Params: scenario.Params{"margins": "-1.2s,28ms", "vic-net": "lossy-wifi"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("racemargin over lossy-wifi differs between identical runs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestRacemarginRegistered: the scenario is registered with the
+// documented parameter surface.
+func TestRacemarginRegistered(t *testing.T) {
+	sc, ok := scenario.Lookup("racemargin")
+	if !ok {
+		t.Fatal("racemargin not registered")
+	}
+	keys := strings.Join(sc.ParamKeys, ",")
+	for _, want := range []string{"client", "margins", "vic-net"} {
+		if !strings.Contains(keys, want) {
+			t.Errorf("racemargin ParamKeys missing %q (have %s)", want, keys)
+		}
+	}
+}

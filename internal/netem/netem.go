@@ -144,9 +144,13 @@ type Overrides struct {
 	Pairs map[Pair]PathModel
 }
 
-// model resolves the PathModel owning the src→dst link.
+// model resolves the PathModel owning the src→dst link. A nil Pairs
+// entry and a nil Base both resolve to the documented zero-value Path —
+// explicitly, never by letting a nil model escape — so a zero-valued
+// override keeps the default link's no-randomness-consumed guarantee
+// instead of crashing on delivery.
 func (o *Overrides) model(src, dst ipv4.Addr) PathModel {
-	if m, ok := o.Pairs[Pair{Src: src, Dst: dst}]; ok {
+	if m, ok := o.Pairs[Pair{Src: src, Dst: dst}]; ok && m != nil {
 		return m
 	}
 	if o.Base != nil {

@@ -1,0 +1,320 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"dnstime/internal/ipv4"
+)
+
+// Lab-like addresses for topology compilation tests.
+var (
+	topoAttacker = ipv4.MustParseAddr("203.0.113.66")
+	topoResolver = ipv4.MustParseAddr("192.0.2.53")
+	topoNS       = ipv4.MustParseAddr("198.51.100.53")
+	topoClient   = ipv4.MustParseAddr("192.0.2.101")
+	topoNTP      = ipv4.MustParseAddr("10.0.0.1")
+	topoEvil     = ipv4.MustParseAddr("6.6.0.1")
+)
+
+// compileLabTopology compiles t over the standard six-role host set.
+func compileLabTopology(t *Topology) *Compiler {
+	c := t.Compiler()
+	c.Add(topoNS, RoleNameserver)
+	c.Add(topoResolver, RoleResolver)
+	c.Add(topoAttacker, RoleAttacker)
+	c.Add(topoNTP, RoleNTPServer)
+	c.Add(topoEvil, RoleEvilServer)
+	c.Add(topoClient, RoleClient)
+	return c
+}
+
+// TestZeroTopologyIsDefaultLink: an empty topology compiles to the
+// historical default link on every pair and consumes no randomness — the
+// uniform special case that keeps topology-free labs byte-identical.
+func TestZeroTopologyIsDefaultLink(t *testing.T) {
+	c := compileLabTopology(NewTopology())
+	m := c.Model()
+	rng := rand.New(rand.NewSource(11))
+	before := rng.Int63()
+	rng = rand.New(rand.NewSource(11))
+	for _, pair := range [][2]ipv4.Addr{
+		{topoAttacker, topoResolver},
+		{topoClient, topoNTP},
+		{topoResolver, topoNS},
+	} {
+		if d := m.Latency(pair[0], pair[1], rng); d != DefaultLatency {
+			t.Errorf("latency %s→%s = %v, want %v", pair[0], pair[1], d, DefaultLatency)
+		}
+		if m.Drop(pair[0], pair[1], rng) {
+			t.Errorf("zero topology dropped %s→%s", pair[0], pair[1])
+		}
+	}
+	if rng.Int63() != before {
+		t.Error("zero topology consumed randomness")
+	}
+}
+
+// TestTopologyRolePairResolution: exact role pairs beat src-wildcards,
+// which beat dst-wildcards; unlisted pairs follow Default.
+func TestTopologyRolePairResolution(t *testing.T) {
+	topo := NewTopology()
+	topo.Default = &Path{Delay: Fixed(30 * time.Millisecond)}
+	topo.SetPath(RoleAttacker, RoleAny, fixedPath(2*time.Millisecond))
+	topo.SetLink(RoleAttacker, RoleResolver, fixedPath(1*time.Millisecond))
+	topo.SetLink(RoleAny, RoleNameserver, fixedPath(7*time.Millisecond))
+
+	m := compileLabTopology(topo).Model()
+	rng := rand.New(rand.NewSource(12))
+	cases := []struct {
+		src, dst ipv4.Addr
+		want     time.Duration
+	}{
+		{topoAttacker, topoResolver, 1 * time.Millisecond}, // exact pair
+		{topoAttacker, topoNTP, 2 * time.Millisecond},      // (attacker, *)
+		{topoNTP, topoAttacker, 2 * time.Millisecond},      // (*, attacker) via SetPath
+		{topoAttacker, topoNS, 2 * time.Millisecond},       // src-wildcard beats dst-wildcard
+		{topoResolver, topoNS, 7 * time.Millisecond},       // (*, nameserver)
+		{topoClient, topoResolver, 30 * time.Millisecond},  // Default
+		{topoResolver, topoAttacker, 2 * time.Millisecond}, // reverse leg of SetPath
+	}
+	for _, c := range cases {
+		if d := m.Latency(c.src, c.dst, rng); d != c.want {
+			t.Errorf("latency %s→%s = %v, want %v", c.src, c.dst, d, c.want)
+		}
+	}
+}
+
+// TestCompilerIncrementalAndFresh: hosts added after Model() was handed
+// out still get their links (the live-compile contract labs use for
+// mid-run clients), every directed link owns a distinct model instance,
+// and re-adding an address is a no-op.
+func TestCompilerIncrementalAndFresh(t *testing.T) {
+	topo := NewTopology()
+	topo.SetPath(RoleAttacker, RoleAny, func() PathModel {
+		return &Path{Delay: Fixed(3 * time.Millisecond), Loss: &GilbertElliott{PGB: 0.1, PBG: 0.5, LossBad: 1}}
+	})
+	c := topo.Compiler()
+	m := c.Model()
+	c.Add(topoAttacker, RoleAttacker)
+	c.Add(topoResolver, RoleResolver)
+
+	rng := rand.New(rand.NewSource(13))
+	if d := m.Latency(topoAttacker, topoResolver, rng); d != 3*time.Millisecond {
+		t.Fatalf("attacker→resolver latency = %v, want 3ms", d)
+	}
+	// A client attached after Model() was installed still gets its links.
+	c.Add(topoClient, RoleClient)
+	if d := m.Latency(topoAttacker, topoClient, rng); d != 3*time.Millisecond {
+		t.Errorf("late-added client link latency = %v, want 3ms", d)
+	}
+	if d := m.Latency(topoClient, topoResolver, rng); d != DefaultLatency {
+		t.Errorf("client→resolver (unlisted) latency = %v, want default", d)
+	}
+	// Distinct directed links own distinct (stateful) model instances.
+	ov := m.(*Overrides)
+	seen := map[PathModel]Pair{}
+	for pair, model := range ov.Pairs {
+		if prev, dup := seen[model]; dup {
+			t.Errorf("links %v and %v share one model instance", prev, pair)
+		}
+		seen[model] = pair
+	}
+	if c.Role(topoClient) != RoleClient || c.Role(ipv4.Addr{9, 9, 9, 9}) != "" {
+		t.Error("Compiler.Role lookup wrong")
+	}
+	// Re-adding an address must not duplicate links or change its role.
+	links := len(ov.Pairs)
+	c.Add(topoClient, RoleAttacker)
+	if len(ov.Pairs) != links || c.Role(topoClient) != RoleClient {
+		t.Error("re-adding an address changed the compiled topology")
+	}
+}
+
+// TestTopologyPresets: every preset builds, compiles against the lab
+// role set, replays deterministically under equal seeds, and has a
+// description; unknown presets are rejected by name.
+func TestTopologyPresets(t *testing.T) {
+	for _, name := range TopologyNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run := func() ([]float64, []bool) {
+				topo, err := TopologyPreset(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := compileLabTopology(topo).Model()
+				rng := rand.New(rand.NewSource(21))
+				lat := make([]float64, 500)
+				drop := make([]bool, 500)
+				pairs := [][2]ipv4.Addr{
+					{topoAttacker, topoResolver},
+					{topoClient, topoResolver},
+					{topoResolver, topoNS},
+					{topoEvil, topoClient},
+				}
+				for i := range lat {
+					p := pairs[i%len(pairs)]
+					drop[i] = m.Drop(p[0], p[1], rng)
+					lat[i] = m.Latency(p[0], p[1], rng).Seconds()
+				}
+				return lat, drop
+			}
+			lat1, drop1 := run()
+			lat2, drop2 := run()
+			for i := range lat1 {
+				if lat1[i] != lat2[i] || drop1[i] != drop2[i] {
+					t.Fatalf("packet %d differs between identically seeded preset instances", i)
+				}
+			}
+			if TopologyDescription(name) == "" {
+				t.Errorf("preset %q has no description", name)
+			}
+		})
+	}
+	if _, err := TopologyPreset("backbone"); err == nil || !strings.Contains(err.Error(), "backbone") {
+		t.Errorf("unknown preset error = %v", err)
+	}
+}
+
+// TestNearAttackerAsymmetry: under the near-attacker preset the
+// attacker's path to the resolver is strictly faster than the client's
+// and the resolver's nameserver leg — the race advantage the preset
+// exists to model.
+func TestNearAttackerAsymmetry(t *testing.T) {
+	topo, err := TopologyPreset("near-attacker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := compileLabTopology(topo).Model()
+	rng := rand.New(rand.NewSource(22))
+	atk := m.Latency(topoAttacker, topoResolver, rng)
+	cli := m.Latency(topoClient, topoResolver, rng)
+	ns := m.Latency(topoNS, topoResolver, rng)
+	if atk >= cli || atk >= ns {
+		t.Errorf("attacker latency %v not below victim paths (client %v, ns %v)", atk, cli, ns)
+	}
+}
+
+// TestTopologyFromSpec: preset + per-side profile overrides compose —
+// atk-net rewires the attacker's links, cli-net the victim access paths
+// (winning over attacker wildcards where they overlap), net= becomes the
+// Default — and unknown names are rejected per parameter.
+func TestTopologyFromSpec(t *testing.T) {
+	topo, err := TopologyFromSpec("near-attacker", "lan", "congested", Fixed(40*time.Millisecond).asPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := compileLabTopology(topo).Model()
+	rng := rand.New(rand.NewSource(23))
+	// atk-net=lan: fixed 200 µs attacker legs.
+	if d := m.Latency(topoAttacker, topoResolver, rng); d != 200*time.Microsecond {
+		t.Errorf("atk-net latency = %v, want 200µs", d)
+	}
+	// cli-net=congested is lognormal 40 ms median — not the preset's fixed
+	// 30 ms default, and it wins over the evilserver wildcard.
+	if d := m.Latency(topoClient, topoEvil, rng); d == 30*time.Millisecond || d == 200*time.Microsecond {
+		t.Errorf("cli-net did not win the client↔evilserver link (latency %v)", d)
+	}
+	// The uniform dflt replaces the preset default on unlisted pairs.
+	if d := m.Latency(topoNTP, topoResolver, rng); d != 40*time.Millisecond {
+		t.Errorf("default-path latency = %v, want 40ms", d)
+	}
+
+	for _, bad := range [][3]string{
+		{"backbone", "", ""},
+		{"", "dialup", ""},
+		{"", "", "dialup"},
+	} {
+		if _, err := TopologyFromSpec(bad[0], bad[1], bad[2], nil); err == nil {
+			t.Errorf("TopologyFromSpec(%q, %q, %q) accepted", bad[0], bad[1], bad[2])
+		}
+	}
+
+	// The empty spec is the uniform preset with the zero-path default.
+	topo, err = TopologyFromSpec("", "", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = compileLabTopology(topo).Model()
+	if d := m.Latency(topoClient, topoResolver, rng); d != DefaultLatency {
+		t.Errorf("empty-spec latency = %v, want default", d)
+	}
+}
+
+// asPath adapts a latency distribution into a lossless Path model for
+// spec tests.
+func (f Fixed) asPath() PathModel { return &Path{Delay: f} }
+
+// TestGilbertElliottPerLinkConvergence: a topology whose victim links
+// carry Gilbert–Elliott loss compiles to one independent chain per
+// directed link, and each link's long-run loss rate converges to the
+// stationary mixture PGB/(PGB+PBG) — the statistical contract per-link
+// state exists to uphold.
+func TestGilbertElliottPerLinkConvergence(t *testing.T) {
+	const pgb, pbg = 0.05, 0.5
+	topo := NewTopology()
+	victimSide(topo, func() PathModel {
+		return &Path{Loss: &GilbertElliott{PGB: pgb, PBG: pbg, LossGood: 0, LossBad: 1}}
+	})
+	m := compileLabTopology(topo).Model()
+	rng := rand.New(rand.NewSource(24))
+	wantRate := pgb / (pgb + pbg)
+	links := [][2]ipv4.Addr{
+		{topoClient, topoResolver},
+		{topoResolver, topoClient},
+		{topoClient, topoNTP},
+		{topoResolver, topoNS},
+		{topoNS, topoResolver},
+	}
+	const n = 200000
+	for _, link := range links {
+		drops := 0
+		for i := 0; i < n; i++ {
+			if m.Drop(link[0], link[1], rng) {
+				drops++
+			}
+		}
+		rate := float64(drops) / float64(n)
+		if math.Abs(rate-wantRate) > wantRate/10 {
+			t.Errorf("link %s→%s loss rate = %.4f, want ≈%.4f", link[0], link[1], rate, wantRate)
+		}
+	}
+	// Attacker links are unlisted: lossless default, zero drops.
+	for i := 0; i < 1000; i++ {
+		if m.Drop(topoAttacker, topoResolver, rng) {
+			t.Fatal("unlisted attacker link dropped a packet")
+		}
+	}
+}
+
+// TestOverridesZeroValueFallsBack pins the small fix: a nil Pairs entry
+// (a zero-valued override) and a nil Base resolve to the documented
+// zero-value Path — default latency, lossless — without consuming any
+// randomness and without letting the nil model escape.
+func TestOverridesZeroValueFallsBack(t *testing.T) {
+	o := &Overrides{Pairs: map[Pair]PathModel{
+		{Src: srcA, Dst: dstB}: nil,
+	}}
+	rng := rand.New(rand.NewSource(25))
+	before := rng.Int63()
+	rng = rand.New(rand.NewSource(25))
+	if d := o.Latency(srcA, dstB, rng); d != DefaultLatency {
+		t.Errorf("nil-entry latency = %v, want %v", d, DefaultLatency)
+	}
+	if o.Drop(srcA, dstB, rng) {
+		t.Error("nil-entry pair dropped a packet")
+	}
+	if rng.Int63() != before {
+		t.Error("zero-valued override consumed randomness")
+	}
+	// A nil entry means "no override": with a Base installed, Base owns
+	// the link.
+	o.Base = &Path{Delay: Fixed(4 * time.Millisecond)}
+	if d := o.Latency(srcA, dstB, rng); d != 4*time.Millisecond {
+		t.Errorf("nil-entry latency with Base = %v, want 4ms", d)
+	}
+}

@@ -1,0 +1,45 @@
+package ntpclient
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestProfileByNameErrors pins the error contract the CLIs and the
+// parameterised scenarios rely on: an unknown name is rejected with an
+// error that names the offending value (so `-client swatch` and
+// `-param client=swatch` fail with a usable message), the empty string
+// is not a profile, and spelling is not whitespace-tolerant.
+func TestProfileByNameErrors(t *testing.T) {
+	for _, name := range []string{"swatch", "", " ntpd", "ntpd ", "systemd_timesyncd"} {
+		prof, err := ProfileByName(name)
+		if err == nil {
+			t.Errorf("ProfileByName(%q) accepted -> %q", name, prof.Name)
+			continue
+		}
+		if !strings.Contains(err.Error(), `"`+name+`"`) {
+			t.Errorf("ProfileByName(%q) error does not quote the name: %v", name, err)
+		}
+		if prof != (Profile{}) {
+			t.Errorf("ProfileByName(%q) returned a non-zero profile alongside the error", name)
+		}
+	}
+}
+
+// TestAllProfilesDistinct: the Table I catalogue lists seven distinct,
+// named profiles — the invariant the per-client metric keys depend on.
+func TestAllProfilesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, pu := range AllProfiles() {
+		if pu.Profile.Name == "" {
+			t.Error("profile with empty name in AllProfiles")
+		}
+		if seen[pu.Profile.Name] {
+			t.Errorf("duplicate profile %q in AllProfiles", pu.Profile.Name)
+		}
+		seen[pu.Profile.Name] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("AllProfiles lists %d profiles, want 7", len(seen))
+	}
+}
