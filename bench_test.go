@@ -56,12 +56,14 @@ func benchCampaignTableI(b *testing.B, workers int) {
 
 // BenchmarkCampaignTableI runs the 64-seed Table I campaign on all cores.
 func BenchmarkCampaignTableI(b *testing.B) {
+	b.ReportAllocs()
 	benchCampaignTableI(b, runtime.GOMAXPROCS(0))
 }
 
 // BenchmarkCampaignTableISerial is the same campaign at -workers 1: the
 // serial baseline the parallel engine must beat.
 func BenchmarkCampaignTableISerial(b *testing.B) {
+	b.ReportAllocs()
 	benchCampaignTableI(b, 1)
 }
 
@@ -69,6 +71,7 @@ func BenchmarkCampaignTableISerial(b *testing.B) {
 // across 64 seeds through the Engine and reports runs/sec and the
 // aggregate statistics.
 func BenchmarkCampaignRuntime(b *testing.B) {
+	b.ReportAllocs()
 	var agg dnstime.ScenarioAggregate
 	eng := dnstime.NewEngine(dnstime.WithSeeds(campaignSeeds))
 	for i := 0; i < b.N; i++ {
@@ -87,6 +90,7 @@ func BenchmarkCampaignRuntime(b *testing.B) {
 // campaign smoke run CI executes at -benchtime 1x so no scenario can rot
 // out of the engine.
 func BenchmarkCampaignAllScenarios(b *testing.B) {
+	b.ReportAllocs()
 	eng := dnstime.NewEngine(dnstime.WithSeeds(4), dnstime.WithFast(true))
 	for i := 0; i < b.N; i++ {
 		for _, sc := range dnstime.Scenarios() {
@@ -107,6 +111,7 @@ func BenchmarkCampaignAllScenarios(b *testing.B) {
 // per-profile success rate — attack robustness against path conditions
 // as a benchmark metric.
 func BenchmarkNetProfileSweep(b *testing.B) {
+	b.ReportAllocs()
 	eng := dnstime.NewEngine(dnstime.WithSeeds(8))
 	totalRuns := 0
 	for i := 0; i < b.N; i++ {
@@ -132,6 +137,7 @@ func BenchmarkNetProfileSweep(b *testing.B) {
 // per-seed channel costs nothing measurable next to the runs themselves —
 // streaming and blocking campaigns have the same throughput.
 func BenchmarkEngineStream(b *testing.B) {
+	b.ReportAllocs()
 	eng := dnstime.NewEngine(dnstime.WithSeeds(campaignSeeds))
 	for i := 0; i < b.N; i++ {
 		st, err := eng.Stream(context.Background(), "boot")
@@ -154,6 +160,7 @@ func BenchmarkEngineStream(b *testing.B) {
 // against all seven client profiles plus the run-time applicability
 // classification.
 func BenchmarkTableIClientMatrix(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := dnstime.TableI(dnstime.LabConfig{Seed: int64(i) + 1})
 		if err != nil {
@@ -177,6 +184,7 @@ func BenchmarkTableIClientMatrix(b *testing.B) {
 // attack duration experiments (NTPd P2/P1, systemd[paper: "openntpd"] P1,
 // chrony P1).
 func BenchmarkTableIIAttackDuration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := dnstime.TableII(dnstime.LabConfig{Seed: int64(i) + 1})
 		if err != nil {
@@ -191,6 +199,7 @@ func BenchmarkTableIIAttackDuration(b *testing.B) {
 // BenchmarkTableIIIProbabilities regenerates Table III (closed form plus a
 // Monte-Carlo cross-check).
 func BenchmarkTableIIIProbabilities(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := dnstime.TableIII(dnstime.DefaultPRate)
 		if len(rows) != 9 {
@@ -218,6 +227,7 @@ func scenarioMetric(b *testing.B, name string, seed int64) dnstime.ScenarioResul
 // BenchmarkTableIVResolverCache regenerates Table IV: RD=0 cache snooping
 // over the open-resolver population, via the table4 scenario.
 func BenchmarkTableIVResolverCache(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := scenarioMetric(b, "table4", int64(i))
 		b.ReportMetric(res.Metrics["cached_pct/pool.ntp.org IN A"], "poolA-cached-pct") // paper: 69.41
@@ -228,6 +238,7 @@ func BenchmarkTableIVResolverCache(b *testing.B) {
 // BenchmarkTableVAdStudy regenerates Table V: the ad-network client study,
 // via the table5 scenario.
 func BenchmarkTableVAdStudy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := scenarioMetric(b, "table5", int64(i))
 		b.ReportMetric(res.Metrics["tiny_pct/ALL"], "ALL-tiny-pct")     // paper: 64.00
@@ -241,6 +252,7 @@ func BenchmarkTableVAdStudy(b *testing.B) {
 // fragment sizes over the popular-domain nameserver population, via the
 // fig5 scenario.
 func BenchmarkFigure5FragmentCDF(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := scenarioMetric(b, "fig5", int64(i))
 		b.ReportMetric(res.Metrics["cdf_pct/292B"], "cdf-292-pct")            // paper: 7.05
@@ -252,6 +264,7 @@ func BenchmarkFigure5FragmentCDF(b *testing.B) {
 // BenchmarkFigure6TTLDistribution regenerates Figure 6: remaining TTLs of
 // cached pool records (uniform on [0,150]), via the fig6 scenario.
 func BenchmarkFigure6TTLDistribution(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := scenarioMetric(b, "fig6", int64(i))
 		b.ReportMetric(res.Metrics["ttl_samples"], "ttl-samples")
@@ -264,6 +277,7 @@ func BenchmarkFigure6TTLDistribution(b *testing.B) {
 // latency-difference distribution and its lack of a clean threshold, via
 // the fig7 scenario.
 func BenchmarkFigure7TimingSideChannel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := scenarioMetric(b, "fig7", int64(i))
 		b.ReportMetric(res.Metrics["samples"], "samples")
@@ -274,6 +288,7 @@ func BenchmarkFigure7TimingSideChannel(b *testing.B) {
 // BenchmarkRateLimitScan regenerates §VII-A: the live 2432-server pool scan
 // (33% KoD, 38% stop responding), via the ratelimit scenario.
 func BenchmarkRateLimitScan(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := scenarioMetric(b, "ratelimit", int64(i))
 		b.ReportMetric(res.Metrics["rate_limited_pct"], "ratelimited-pct") // paper: 38
@@ -284,6 +299,7 @@ func BenchmarkRateLimitScan(b *testing.B) {
 // BenchmarkNameserverFragScan regenerates §VII-B: 16/30 pool nameservers
 // fragment below 548 B, none signed, via the nsfrag scenario.
 func BenchmarkNameserverFragScan(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := scenarioMetric(b, "nsfrag", int64(i))
 		b.ReportMetric(res.Metrics["frag_below_548"], "frag-below-548") // paper: 16
@@ -295,6 +311,7 @@ func BenchmarkNameserverFragScan(b *testing.B) {
 // resolvers whose queries the attacker can trigger, via the shared
 // scenario.
 func BenchmarkSharedResolverStudy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := scenarioMetric(b, "shared", int64(i))
 		b.ReportMetric(res.Metrics["triggerable_pct"], "triggerable-pct") // paper: 13.8
@@ -304,6 +321,7 @@ func BenchmarkSharedResolverStudy(b *testing.B) {
 // BenchmarkChronosAttackBound regenerates §VI-C: the N ≤ 11 bound and a full
 // pool-generation poisoning run, via the chronos scenario.
 func BenchmarkChronosAttackBound(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if n := dnstime.ChronosAttackBound(4, 89); n != 11 {
 			b.Fatalf("bound = %d", n)
@@ -317,6 +335,7 @@ func BenchmarkChronosAttackBound(b *testing.B) {
 // BenchmarkRuntimeShift500s regenerates §V-A2: the −500 s run-time shift
 // against an ntpd-profile client.
 func BenchmarkRuntimeShift500s(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := dnstime.RunRuntimeAttack(dnstime.ProfileNTPd, dnstime.ScenarioP1, dnstime.LabConfig{Seed: int64(i) + 4})
 		if err != nil {
@@ -331,6 +350,7 @@ func BenchmarkRuntimeShift500s(b *testing.B) {
 // needs at most 5 spoofed fragments per 150 s TTL window and stays low
 // volume.
 func BenchmarkBootTimePlanting(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		lab := dnstime.MustNewLab(dnstime.LabConfig{Seed: int64(i) + 11})
 		campaign := lab.StartPoisonCampaign(30*time.Second, 0)
@@ -344,6 +364,7 @@ func BenchmarkBootTimePlanting(b *testing.B) {
 // BenchmarkPoisoningPipeline measures the §III unit pipeline: template →
 // malicious twin → spoofed fragments with fixed checksum.
 func BenchmarkPoisoningPipeline(b *testing.B) {
+	b.ReportAllocs()
 	// Build a representative padded pool response template once.
 	q := dnswire.NewQuery(1, "pool.ntp.org", dnswire.TypeA, true)
 	r := dnswire.NewResponse(q)
@@ -391,6 +412,7 @@ func paddingText(n int) string {
 // behaviour across reassembly timeouts (DESIGN.md §5): how long a planted
 // fragment survives awaiting the real first fragment.
 func BenchmarkAblationDefragTimeout(b *testing.B) {
+	b.ReportAllocs()
 	timeouts := []time.Duration{30 * time.Second, 60 * time.Second, 120 * time.Second}
 	for i := 0; i < b.N; i++ {
 		for _, to := range timeouts {
@@ -413,6 +435,7 @@ func BenchmarkAblationDefragTimeout(b *testing.B) {
 // allocation strategies (sequential vs per-destination vs random): the
 // probe-and-extrapolate predictor only works against sequential counters.
 func BenchmarkAblationIPIDAllocator(b *testing.B) {
+	b.ReportAllocs()
 	allocators := []struct {
 		name  string
 		alloc func() ipv4.IDAllocator
@@ -448,6 +471,7 @@ func BenchmarkAblationIPIDAllocator(b *testing.B) {
 // BenchmarkChronosSamplingRounds measures the Chronos client's sampling
 // round over a large pool (throughput of the core algorithm).
 func BenchmarkChronosSamplingRounds(b *testing.B) {
+	b.ReportAllocs()
 	bound := chronos.AttackBound
 	for i := 0; i < b.N; i++ {
 		// Sweep the attack bound across response capacities (DESIGN.md §5

@@ -9,7 +9,10 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"dnstime"
@@ -32,6 +35,14 @@ type benchEntry struct {
 	MetricMeans map[string]float64 `json:"metric_means,omitempty"`
 }
 
+// benchWorkersRow is one whole-registry timing at an alternative worker
+// count: the scaling companion to the document's main (per-scenario) pass.
+type benchWorkersRow struct {
+	Workers         int     `json:"workers"`
+	TotalSeconds    float64 `json:"total_seconds"`
+	TotalRunsPerSec float64 `json:"total_runs_per_sec"`
+}
+
 // benchDoc is the bench subcommand's JSON document (BENCH_4.json in CI):
 // one campaign benchmark entry per scenario, in registry order, plus the
 // run configuration — the repo's performance trajectory across PRs.
@@ -40,6 +51,8 @@ type benchDoc struct {
 	Seeds   int  `json:"seeds"`
 	Workers int  `json:"workers"`
 	Fast    bool `json:"fast,omitempty"`
+	// GoGC records the collector target the run used (the -gogc flag).
+	GoGC int `json:"gogc,omitempty"`
 	// GoMaxProcs records the parallelism available to the run.
 	GoMaxProcs int `json:"gomaxprocs"`
 	// TotalSeconds is the wall-clock time across all campaigns.
@@ -48,19 +61,24 @@ type benchDoc struct {
 	TotalRunsPerSec float64 `json:"total_runs_per_sec"`
 	// Scenarios holds one entry per benchmarked scenario.
 	Scenarios []benchEntry `json:"scenarios"`
+	// WorkersRows holds extra whole-registry passes at other worker
+	// counts (the -workers-rows flag) — the document's scaling record.
+	WorkersRows []benchWorkersRow `json:"workers_rows,omitempty"`
 }
 
 // benchConfig holds the parsed bench-subcommand flags.
 type benchConfig struct {
-	seeds     int
-	workers   int
-	fast      bool
-	only      string
-	out       string
-	compare   string
-	in        string
-	tolerance float64
-	driftOnly bool
+	seeds       int
+	workers     int
+	workersRows string
+	gogc        int
+	fast        bool
+	only        string
+	out         string
+	compare     string
+	in          string
+	tolerance   float64
+	driftOnly   bool
 }
 
 // benchFlagSet declares the bench flag surface (the README command
@@ -69,6 +87,8 @@ func benchFlagSet(cfg *benchConfig) *flag.FlagSet {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	fs.IntVar(&cfg.seeds, "seeds", 16, "independent seeds per scenario")
 	fs.IntVar(&cfg.workers, "workers", 0, "concurrent workers (0 = GOMAXPROCS)")
+	fs.StringVar(&cfg.workersRows, "workers-rows", "", "comma-separated extra worker counts; each adds a whole-registry timing row to the document")
+	fs.IntVar(&cfg.gogc, "gogc", 400, "GC target percentage for the benchmark process (0 leaves the runtime default); campaigns are an allocation-lean batch workload, so the stock 100 spends a measurable slice of each run in collector write barriers")
 	fs.BoolVar(&cfg.fast, "fast", false, "shrink the slowest scenarios' populations")
 	fs.StringVar(&cfg.only, "only", "", "comma-separated scenario subset (default: all)")
 	fs.StringVar(&cfg.out, "o", "", "write the JSON document to this file (default: stdout)")
@@ -118,11 +138,19 @@ func runBench(ctx context.Context, argv []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	rows, err := parseWorkersRows(cfg.workersRows)
+	if err != nil {
+		return err
+	}
+	if cfg.gogc > 0 {
+		debug.SetGCPercent(cfg.gogc)
+	}
 
 	doc := benchDoc{
 		Seeds:      cfg.seeds,
 		Workers:    cfg.workers,
 		Fast:       cfg.fast,
+		GoGC:       cfg.gogc,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	if doc.Workers == 0 {
@@ -166,6 +194,15 @@ func runBench(ctx context.Context, argv []string, w io.Writer) error {
 	}
 	doc.TotalSeconds = time.Since(start).Seconds()
 	doc.TotalRunsPerSec = float64(totalRuns) / doc.TotalSeconds
+	for _, workers := range rows {
+		row, err := benchWorkersPass(ctx, names, cfg, workers)
+		if err != nil {
+			return err
+		}
+		doc.WorkersRows = append(doc.WorkersRows, row)
+		fmt.Fprintf(os.Stderr, "bench -workers %-2d     %3d scenarios in %6.2fs (%.1f runs/sec)\n",
+			workers, len(names), row.TotalSeconds, row.TotalRunsPerSec)
+	}
 
 	out := w
 	if cfg.out != "" {
@@ -195,6 +232,49 @@ func runBench(ctx context.Context, argv []string, w io.Writer) error {
 		return compareAgainstBaseline(doc, cfg, subset, w)
 	}
 	return nil
+}
+
+// parseWorkersRows parses the -workers-rows comma list into worker counts.
+func parseWorkersRows(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var rows []int
+	for _, field := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-workers-rows: %q is not a positive worker count", field)
+		}
+		rows = append(rows, n)
+	}
+	return rows, nil
+}
+
+// benchWorkersPass times one whole-registry pass at the given worker count
+// — the scaling rows of the bench document. Only the totals are recorded:
+// the per-scenario entries of the main pass already pin the deterministic
+// headline metrics, which cannot depend on worker count.
+func benchWorkersPass(ctx context.Context, names []string, cfg benchConfig, workers int) (benchWorkersRow, error) {
+	totalRuns := 0
+	start := time.Now()
+	for _, name := range names {
+		eng := dnstime.NewEngine(
+			dnstime.WithSeeds(cfg.seeds),
+			dnstime.WithWorkers(workers),
+			dnstime.WithFast(cfg.fast),
+		)
+		agg, err := eng.Run(ctx, name)
+		if err != nil {
+			return benchWorkersRow{}, fmt.Errorf("bench -workers %d %s: %w", workers, name, err)
+		}
+		totalRuns += agg.Runs
+	}
+	elapsed := time.Since(start).Seconds()
+	return benchWorkersRow{
+		Workers:         workers,
+		TotalSeconds:    elapsed,
+		TotalRunsPerSec: float64(totalRuns) / elapsed,
+	}, nil
 }
 
 // loadBenchDoc reads a bench JSON document from disk.
@@ -298,6 +378,35 @@ func compareBenchDocs(current, baseline benchDoc, opts compareOptions) []string 
 		current.TotalRunsPerSec < (1-tol)*baseline.TotalRunsPerSec {
 		problems = append(problems, fmt.Sprintf("total throughput %.1f runs/sec, more than %.0f%% below baseline %.1f",
 			current.TotalRunsPerSec, 100*tol, baseline.TotalRunsPerSec))
+	}
+	if !opts.driftOnly && opts.subset == nil {
+		baseRows := make(map[int]benchWorkersRow, len(baseline.WorkersRows))
+		for _, row := range baseline.WorkersRows {
+			baseRows[row.Workers] = row
+		}
+		for _, cur := range current.WorkersRows {
+			// A row the baseline also timed is gated row-to-row; a row the
+			// baseline predates is still gated against the baseline's main
+			// total — more workers must never be slower than the baseline's
+			// single-pass throughput.
+			want := baseline.TotalRunsPerSec
+			if base, ok := baseRows[cur.Workers]; ok {
+				want = base.TotalRunsPerSec
+			}
+			if cur.TotalRunsPerSec < (1-tol)*want {
+				problems = append(problems, fmt.Sprintf("workers=%d throughput %.1f runs/sec, more than %.0f%% below baseline %.1f",
+					cur.Workers, cur.TotalRunsPerSec, 100*tol, want))
+			}
+		}
+		for _, base := range baseline.WorkersRows {
+			found := false
+			for _, cur := range current.WorkersRows {
+				found = found || cur.Workers == base.Workers
+			}
+			if !found {
+				problems = append(problems, fmt.Sprintf("workers=%d row disappeared from the bench document", base.Workers))
+			}
+		}
 	}
 	return problems
 }

@@ -133,6 +133,38 @@ func TestBenchCompareSelfTest(t *testing.T) {
 	if problems := compareBenchDocs(only, base, subset); len(problems) != 1 || !strings.Contains(problems[0], "boot") {
 		t.Errorf("subset comparison missed the selected regression: %v", problems)
 	}
+
+	// Workers rows. A row the baseline predates is gated against the
+	// baseline's main total; once the baseline carries the row it is gated
+	// row-to-row, and dropping it fails.
+	rows := compareBaseline()
+	rows.WorkersRows = []benchWorkersRow{{Workers: 4, TotalSeconds: 1, TotalRunsPerSec: 130}}
+	if problems := compareBenchDocs(rows, base, compareOptions{tolerance: 0.15}); len(problems) != 0 {
+		t.Errorf("fresh workers row above baseline total flagged: %v", problems)
+	}
+	rows.WorkersRows[0].TotalRunsPerSec = 90 // >15% below baseline total 120
+	if problems := compareBenchDocs(rows, base, compareOptions{tolerance: 0.15}); len(problems) != 1 ||
+		!strings.Contains(problems[0], "workers=4") {
+		t.Errorf("slow fresh workers row: got %v", problems)
+	}
+	rowBase := compareBaseline()
+	rowBase.WorkersRows = []benchWorkersRow{{Workers: 4, TotalSeconds: 1, TotalRunsPerSec: 400}}
+	rowCur := compareBaseline()
+	rowCur.WorkersRows = []benchWorkersRow{{Workers: 4, TotalSeconds: 1, TotalRunsPerSec: 300}}
+	if problems := compareBenchDocs(rowCur, rowBase, compareOptions{tolerance: 0.15}); len(problems) != 1 ||
+		!strings.Contains(problems[0], "workers=4") {
+		t.Errorf("row-to-row regression: got %v", problems)
+	}
+	rowCur.WorkersRows = nil
+	if problems := compareBenchDocs(rowCur, rowBase, compareOptions{tolerance: 0.15}); len(problems) != 1 ||
+		!strings.Contains(problems[0], "disappeared") {
+		t.Errorf("dropped workers row: got %v", problems)
+	}
+	rowBase.WorkersRows = nil
+	rowCur.WorkersRows = []benchWorkersRow{{Workers: 4, TotalSeconds: 1, TotalRunsPerSec: 30}}
+	if problems := compareBenchDocs(rowCur, rowBase, compareOptions{tolerance: 0.15, driftOnly: true}); len(problems) != 0 {
+		t.Errorf("driftOnly flagged workers-row throughput: %v", problems)
+	}
 }
 
 // TestRunBenchCompareCLI drives the full -in/-compare CLI path: a

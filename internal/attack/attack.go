@@ -50,6 +50,22 @@ type Attacker struct {
 
 	// InjectedPackets counts spoofed packets sent (attack volume).
 	InjectedPackets int
+
+	wire []byte // encode scratch; SendUDP copies before returning
+
+	// Fragment-building scratch: a planting campaign rebuilds its spoofed
+	// fragments every round, so the template decode, the twin re-encode,
+	// the wire images and the candidate packets are all reused. Inject
+	// copies packets on entry, making inject-then-rebuild safe.
+	fragDec  dnswire.Decoder
+	fragMsg  dnswire.Message
+	templBuf []byte
+	twinBuf  []byte
+	realWire []byte
+	malWire  []byte
+	spoofF2  []byte
+	fragPkts []ipv4.Packet
+	frags    []*ipv4.Packet
 }
 
 // New creates an attacker operating from host.
@@ -60,6 +76,14 @@ func New(host *simnet.Host, seed int64) *Attacker {
 		clock: host.Clock(),
 		rng:   rand.New(rand.NewSource(seed)),
 	}
+}
+
+// Reset restores the attacker to the observable state New(host, seed)
+// produces: fresh RNG stream, zero packet counter. All fragment-building
+// scratch survives — a pooled lab reuses its attacker every campaign seed.
+func (a *Attacker) Reset(seed int64) {
+	a.rng.Seed(seed)
+	a.InjectedPackets = 0
 }
 
 // Host returns the attacker's own host.
@@ -112,17 +136,18 @@ func (a *Attacker) ProbeIPIDs(ns ipv4.Addr, probeName string, n int, spacing tim
 	})
 	port := a.host.AllocPort()
 	_ = a.host.HandleUDP(port, func(ipv4.Addr, uint16, []byte) {})
+	probe := func() {
+		q := dnswire.NewQuery(uint16(a.rng.Intn(1<<16)), probeName, dnswire.TypeA, false)
+		wire, err := q.AppendMarshal(a.wire[:0])
+		if err != nil {
+			return
+		}
+		a.wire = wire
+		a.InjectedPackets++
+		_, _ = a.host.SendUDP(ns, port, 53, wire)
+	}
 	for i := 0; i < n; i++ {
-		i := i
-		a.clock.Schedule(time.Duration(i)*spacing, func() {
-			q := dnswire.NewQuery(uint16(a.rng.Intn(1<<16)), probeName, dnswire.TypeA, false)
-			wire, err := q.Marshal()
-			if err != nil {
-				return
-			}
-			a.InjectedPackets++
-			_, _ = a.host.SendUDP(ns, port, 53, wire)
-		})
+		a.clock.After(time.Duration(i)*spacing, probe)
 	}
 	a.clock.Schedule(time.Duration(n)*spacing+2*time.Second, func() {
 		a.host.UnhandleUDP(port)
@@ -195,17 +220,30 @@ type PoisonPlan struct {
 // IPID. Each fragment reassembles with the nameserver's real first fragment
 // (which carries TXID, ports and UDP checksum) into a response whose answer
 // addresses are the attacker's and whose UDP checksum still verifies.
+// The returned packets share one payload slice — only the IPID varies, and
+// Inject copies packets on entry — so mutating one payload affects all.
 func BuildSpoofedFragments(plan PoisonPlan) ([]*ipv4.Packet, error) {
-	mal, err := MaliciousTwin(plan.Template, plan.Malicious, plan.TTL)
+	var a Attacker
+	return a.BuildSpoofedFragments(plan)
+}
+
+// BuildSpoofedFragments is the scratch-reusing form: the returned packets
+// and their shared payload belong to the attacker and stay valid only until
+// its next call. Inject copies on entry, so the planting loop's
+// rebuild-inject-repeat cycle never observes the reuse.
+func (a *Attacker) BuildSpoofedFragments(plan PoisonPlan) ([]*ipv4.Packet, error) {
+	mal, err := a.maliciousTwin(plan.Template, plan.Malicious, plan.TTL)
 	if err != nil {
 		return nil, err
 	}
 	// Both datagrams as the wire sees them: UDP header + DNS payload. The
 	// attacker does not know the real ports/checksum but they sit in the
 	// first fragment; any placeholder works for computing the split.
-	realWire := make([]byte, udp.HeaderLen+len(plan.Template))
+	a.realWire = growZeroHeader(a.realWire, udp.HeaderLen+len(plan.Template))
+	realWire := a.realWire
 	copy(realWire[udp.HeaderLen:], plan.Template)
-	malWire := make([]byte, udp.HeaderLen+len(mal))
+	a.malWire = growZeroHeader(a.malWire, udp.HeaderLen+len(mal))
+	malWire := a.malWire
 	copy(malWire[udp.HeaderLen:], mal)
 
 	cut := (plan.MTU - ipv4.HeaderLen) &^ 7
@@ -213,7 +251,8 @@ func BuildSpoofedFragments(plan PoisonPlan) ([]*ipv4.Packet, error) {
 		return nil, fmt.Errorf("%w: len=%d cut=%d", ErrFragmentBounds, len(realWire), cut)
 	}
 	realF2 := realWire[cut:]
-	spoofF2 := append([]byte(nil), malWire[cut:]...)
+	a.spoofF2 = append(a.spoofF2[:0], malWire[cut:]...)
+	spoofF2 := a.spoofF2
 
 	slack, err := findSlack(spoofF2)
 	if err != nil {
@@ -223,9 +262,15 @@ func BuildSpoofedFragments(plan PoisonPlan) ([]*ipv4.Packet, error) {
 		return nil, fmt.Errorf("attack: %w", err)
 	}
 
-	frags := make([]*ipv4.Packet, 0, len(plan.IPIDs))
-	for _, id := range plan.IPIDs {
-		frags = append(frags, &ipv4.Packet{
+	if cap(a.fragPkts) < len(plan.IPIDs) {
+		a.fragPkts = make([]ipv4.Packet, len(plan.IPIDs))
+	}
+	pkts := a.fragPkts[:len(plan.IPIDs)]
+	a.frags = a.frags[:0]
+	for i, id := range plan.IPIDs {
+		// All candidate fragments share one payload: Inject copies packets
+		// into the network's pool, so the shared slice is never retained.
+		pkts[i] = ipv4.Packet{
 			Src:     plan.NS,
 			Dst:     plan.Resolver,
 			ID:      id,
@@ -233,10 +278,22 @@ func BuildSpoofedFragments(plan PoisonPlan) ([]*ipv4.Packet, error) {
 			TTL:     ipv4.DefaultTTL,
 			MF:      false,
 			FragOff: cut,
-			Payload: append([]byte(nil), spoofF2...),
-		})
+			Payload: spoofF2,
+		}
+		a.frags = append(a.frags, &pkts[i])
 	}
-	return frags, nil
+	return a.frags, nil
+}
+
+// growZeroHeader returns b resized to n bytes with the UDP-header prefix
+// zeroed (the rest is fully overwritten by the caller).
+func growZeroHeader(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	b = b[:n]
+	clear(b[:udp.HeaderLen])
+	return b
 }
 
 // MaliciousTwin parses a predicted DNS response and re-encodes it with the
@@ -245,11 +302,18 @@ func BuildSpoofedFragments(plan PoisonPlan) ([]*ipv4.Packet, error) {
 // the template's length, since the first fragment (with the length-bearing
 // headers) is the nameserver's own.
 func MaliciousTwin(template []byte, malicious []ipv4.Addr, ttl uint32) ([]byte, error) {
+	var a Attacker
+	return a.maliciousTwin(template, malicious, ttl)
+}
+
+// maliciousTwin is MaliciousTwin through the attacker's decode and encode
+// scratch; the returned bytes are valid until the next call.
+func (a *Attacker) maliciousTwin(template []byte, malicious []ipv4.Addr, ttl uint32) ([]byte, error) {
 	if len(malicious) == 0 {
 		return nil, fmt.Errorf("%w: no malicious addresses", ErrShapeMismatch)
 	}
-	m, err := dnswire.Unmarshal(template)
-	if err != nil {
+	m := &a.fragMsg
+	if err := a.fragDec.UnmarshalInto(m, template); err != nil {
 		return nil, fmt.Errorf("attack: parse template: %w", err)
 	}
 	k := 0
@@ -262,10 +326,11 @@ func MaliciousTwin(template []byte, malicious []ipv4.Addr, ttl uint32) ([]byte, 
 			m.Answers[i].TTL = ttl
 		}
 	}
-	out, err := m.Marshal()
+	out, err := m.AppendMarshal(a.twinBuf[:0])
 	if err != nil {
 		return nil, fmt.Errorf("attack: re-encode: %w", err)
 	}
+	a.twinBuf = out
 	if len(out) != len(template) {
 		return nil, fmt.Errorf("%w: %d != %d bytes", ErrShapeMismatch, len(out), len(template))
 	}
@@ -354,7 +419,12 @@ func (a *Attacker) FetchTemplate(ns ipv4.Addr, name string, done func([]byte, er
 		}
 		timer.Stop()
 		a.host.UnhandleUDP(port)
-		done(payload, nil)
+		// The handler's payload aliases a pooled packet buffer, so done gets
+		// a copy — made in the attacker's reused template buffer, which stays
+		// valid until the attacker's next FetchTemplate (a planting round
+		// consumes the template before the next round re-fetches it).
+		a.templBuf = append(a.templBuf[:0], payload...)
+		done(a.templBuf, nil)
 	}); err != nil {
 		done(nil, err)
 		return
@@ -382,17 +452,19 @@ func (a *Attacker) FetchTemplate(ns ipv4.Addr, name string, done func([]byte, er
 // toward server: an initial burst to trip the limiter, then periodic
 // re-pokes that keep the hold-down armed. Returns a stop function.
 func (a *Attacker) RateLimitFlood(server, victim ipv4.Addr, repoke time.Duration) func() {
+	// The spoofed query bytes never change across the flood: build the
+	// checksummed wire form once and re-inject it (Inject copies on entry).
 	payload := ntpwire.NewClientPacket(a.clock.Now()).Marshal()
+	d := &udp.Datagram{Header: udp.Header{SrcPort: ntpwire.Port, DstPort: ntpwire.Port}, Payload: payload}
+	wire := udp.WithChecksum(victim, server, d.Marshal())
+	pkt := &ipv4.Packet{Src: victim, Dst: server, Proto: ipv4.ProtoUDP, TTL: 64, Payload: wire}
 	inject := func() {
-		d := &udp.Datagram{Header: udp.Header{SrcPort: ntpwire.Port, DstPort: ntpwire.Port}, Payload: payload}
-		wire := udp.WithChecksum(victim, server, d.Marshal())
-		a.Inject(&ipv4.Packet{Src: victim, Dst: server, Proto: ipv4.ProtoUDP, TTL: 64, Payload: wire})
+		a.Inject(pkt)
 	}
 	// The initial burst must exceed the server's token-bucket capacity so
 	// the hold-down trips; the periodic re-pokes then keep it armed.
 	for i := 0; i < 40; i++ {
-		i := i
-		a.clock.Schedule(time.Duration(i)*100*time.Millisecond, inject)
+		a.clock.After(time.Duration(i)*100*time.Millisecond, inject)
 	}
 	tk := a.clock.Tick(repoke, inject)
 	return tk.Stop

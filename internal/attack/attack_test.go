@@ -243,9 +243,10 @@ func TestPoisoningFailsWithoutChecksumFix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Sabotage the checksum fix by flipping a byte. The fragments share one
+	// payload slice, so one flip corrupts every candidate.
+	frags[0].Payload[0] ^= 0xff
 	for _, fr := range frags {
-		// Sabotage the checksum fix by flipping a byte.
-		fr.Payload[0] ^= 0xff
 		eve.Inject(fr)
 	}
 	eve.TriggerOpenResolverQuery(resAddr, "pool.ntp.org")

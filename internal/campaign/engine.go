@@ -23,6 +23,7 @@ type engineConfig struct {
 	baseSeed    int64
 	baseSeedSet bool
 	workers     int
+	batch       int
 	fast        bool
 	params      scenario.Params
 	progress    func(done, total int)
@@ -43,6 +44,13 @@ func WithBaseSeed(s int64) Option {
 
 // WithWorkers caps concurrent runs (default GOMAXPROCS).
 func WithWorkers(n int) Option { return func(c *engineConfig) { c.workers = n } }
+
+// WithBatch sets how many contiguous seeds a worker claims per scheduling
+// round (default: seeds/(4·workers), at least 1). Larger batches cut
+// channel round-trips and keep each worker's pooled lab hot across
+// consecutive seeds; the aggregate is byte-identical at any batch size, so
+// this is purely a throughput knob.
+func WithBatch(n int) Option { return func(c *engineConfig) { c.batch = n } }
 
 // WithFast passes Fast through to every run's scenario.Config (shrinks
 // the slowest scenarios' populations).
@@ -210,45 +218,62 @@ func (e *Engine) Stream(ctx context.Context, scenarioName string) (*Stream, erro
 		done    = cfg.seeds - len(jobs)
 		ckptErr error
 	)
-	jobCh := make(chan int, len(jobs))
-	for _, i := range jobs {
-		jobCh <- i
-	}
-	close(jobCh)
-
 	workers := cfg.workers
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	// Workers claim contiguous chunks of the remaining seeds rather than one
+	// seed per channel round-trip. Chunk size is a pure scheduling knob:
+	// every per-seed effect (result slot, progress call, checkpoint line,
+	// cancellation check) is unchanged, so output bytes cannot depend on it.
+	batch := cfg.batch
+	if batch <= 0 && workers > 0 {
+		batch = len(jobs) / (4 * workers)
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	chunkCh := make(chan []int, (len(jobs)+batch-1)/batch)
+	for start := 0; start < len(jobs); start += batch {
+		end := start + batch
+		if end > len(jobs) {
+			end = len(jobs)
+		}
+		chunkCh <- jobs[start:end]
+	}
+	close(chunkCh)
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobCh {
-				if ctx.Err() != nil {
-					continue // drain remaining jobs without running them
-				}
-				seed := cfg.baseSeed + int64(i)
-				res, err := sc.Run(ctx, seed, scenario.Config{Fast: cfg.fast, Params: cfg.params})
-				if err != nil {
-					if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-						continue // cancelled mid-run: not a completed seed
+			for chunk := range chunkCh {
+				for _, i := range chunk {
+					if ctx.Err() != nil {
+						continue // drain remaining seeds without running them
 					}
-					res.Err = err.Error()
+					seed := cfg.baseSeed + int64(i)
+					res, err := sc.Run(ctx, seed, scenario.Config{Fast: cfg.fast, Params: cfg.params})
+					if err != nil {
+						if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+							continue // cancelled mid-run: not a completed seed
+						}
+						res.Err = err.Error()
+					}
+					res.Seed = seed
+					mu.Lock()
+					slots[i] = &res
+					done++
+					if cfg.progress != nil {
+						cfg.progress(done, cfg.seeds)
+					}
+					if ckpt != nil && ckptErr == nil {
+						ckptErr = ckpt.write(res)
+					}
+					mu.Unlock()
+					st.results <- res
 				}
-				res.Seed = seed
-				mu.Lock()
-				slots[i] = &res
-				done++
-				if cfg.progress != nil {
-					cfg.progress(done, cfg.seeds)
-				}
-				if ckpt != nil && ckptErr == nil {
-					ckptErr = ckpt.write(res)
-				}
-				mu.Unlock()
-				st.results <- res
 			}
 		}()
 	}

@@ -133,6 +133,16 @@ type Client struct {
 	genTicker *simclock.Ticker
 	pollTick  *simclock.Ticker
 
+	// Sampling-round scratch. Rounds are bursty (m queries, 2 s timeouts)
+	// against a 5 min poll cadence, so per-query and per-round state is
+	// pooled rather than re-allocated: a Chronos campaign run performs
+	// thousands of rounds.
+	qFree     []*pendingQuery
+	rFree     []*roundState
+	permBuf   []int
+	sampleBuf []ipv4.Addr
+	wire      []byte
+
 	// PoolQueries counts completed pool-generation DNS transactions.
 	PoolQueries int
 	// Rounds logs sampling rounds.
@@ -229,61 +239,145 @@ func (c *Client) sampleRound() {
 	})
 }
 
-// sampleServers draws m distinct pool servers uniformly at random.
+// sampleServers draws m distinct pool servers uniformly at random. The
+// permutation is Fisher–Yates with exactly rand.Perm's draw sequence, built
+// in a reused buffer so sampling stays allocation-free once warm; the
+// returned slice is scratch, valid until the next round.
 func (c *Client) sampleServers(m int) []ipv4.Addr {
-	idx := c.rng.Perm(len(c.poolOrder))[:m]
-	out := make([]ipv4.Addr, m)
-	for i, j := range idx {
+	n := len(c.poolOrder)
+	if cap(c.permBuf) < n {
+		c.permBuf = make([]int, n)
+	}
+	perm := c.permBuf[:n]
+	for i := 0; i < n; i++ {
+		j := c.rng.Intn(i + 1)
+		perm[i] = perm[j]
+		perm[j] = i
+	}
+	if cap(c.sampleBuf) < m {
+		c.sampleBuf = make([]ipv4.Addr, m)
+	}
+	out := c.sampleBuf[:m]
+	for i, j := range perm[:m] {
 		out[i] = c.poolOrder[j]
 	}
 	return out
 }
 
+// roundState aggregates the offsets of one sampling round. Pooled: released
+// back to the client once its done callback has run.
+type roundState struct {
+	offsets   []time.Duration
+	remaining int
+	done      func([]time.Duration)
+}
+
+// finish retires one outstanding query; the last one fires the round's done
+// callback (which consumes the offsets synchronously) and recycles the round.
+func (r *roundState) finish(c *Client) {
+	r.remaining--
+	if r.remaining != 0 {
+		return
+	}
+	r.done(r.offsets)
+	r.offsets = r.offsets[:0]
+	r.done = nil
+	c.rFree = append(c.rFree, r)
+}
+
+// pendingQuery is the in-flight state of one mode-3 query. Its two callbacks
+// are built once, capture only the struct, and read its current fields, so
+// recycled queries re-arm without allocating closures.
+type pendingQuery struct {
+	c        *Client
+	rnd      *roundState
+	srv      ipv4.Addr
+	port     uint16
+	t1       time.Time
+	answered bool
+	timer    simclock.Timer
+	rx       ntpwire.Packet
+	onPkt    func(src ipv4.Addr, srcPort uint16, payload []byte)
+	onExpire func()
+}
+
+func (c *Client) acquireQuery() *pendingQuery {
+	if n := len(c.qFree); n > 0 {
+		pq := c.qFree[n-1]
+		c.qFree[n-1] = nil
+		c.qFree = c.qFree[:n-1]
+		return pq
+	}
+	pq := &pendingQuery{c: c}
+	pq.onPkt = func(src ipv4.Addr, _ uint16, payload []byte) {
+		if src != pq.srv || pq.answered {
+			return
+		}
+		if err := ntpwire.UnmarshalInto(&pq.rx, payload); err != nil ||
+			pq.rx.Mode != ntpwire.ModeServer || pq.rx.IsKoD() {
+			return
+		}
+		pq.answered = true
+		pq.timer.Stop()
+		pq.c.host.UnhandleUDP(pq.port)
+		rnd := pq.rnd
+		rnd.offsets = append(rnd.offsets, ntpwire.Offset(&pq.rx, pq.t1, pq.c.local.Now()))
+		pq.c.releaseQuery(pq)
+		rnd.finish(pq.c)
+	}
+	pq.onExpire = func() {
+		if pq.answered {
+			return
+		}
+		pq.c.host.UnhandleUDP(pq.port)
+		rnd := pq.rnd
+		pq.c.releaseQuery(pq)
+		rnd.finish(pq.c)
+	}
+	return pq
+}
+
+func (c *Client) releaseQuery(pq *pendingQuery) {
+	pq.rnd = nil
+	c.qFree = append(c.qFree, pq)
+}
+
 // queryServers sends one mode-3 query to each server and collects offsets;
 // non-responders are skipped after a 2 s timeout.
 func (c *Client) queryServers(servers []ipv4.Addr, done func([]time.Duration)) {
-	var offsets []time.Duration
-	remaining := len(servers)
-	finish := func() {
-		remaining--
-		if remaining == 0 {
-			done(offsets)
-		}
+	if len(servers) == 0 {
+		return
 	}
+	var rnd *roundState
+	if n := len(c.rFree); n > 0 {
+		rnd = c.rFree[n-1]
+		c.rFree[n-1] = nil
+		c.rFree = c.rFree[:n-1]
+	} else {
+		rnd = &roundState{}
+	}
+	rnd.remaining = len(servers)
+	rnd.done = done
 	for _, srv := range servers {
-		srv := srv
-		port := c.host.AllocPort()
-		t1 := c.local.Now()
-		answered := false
-		var timer *simclock.Timer
-		if err := c.host.HandleUDP(port, func(src ipv4.Addr, _ uint16, payload []byte) {
-			if src != srv || answered {
-				return
-			}
-			pkt, err := ntpwire.Unmarshal(payload)
-			if err != nil || pkt.Mode != ntpwire.ModeServer || pkt.IsKoD() {
-				return
-			}
-			answered = true
-			timer.Stop()
-			c.host.UnhandleUDP(port)
-			offsets = append(offsets, ntpwire.Offset(pkt, t1, c.local.Now()))
-			finish()
-		}); err != nil {
-			finish()
+		pq := c.acquireQuery()
+		pq.rnd = rnd
+		pq.srv = srv
+		pq.port = c.host.AllocPort()
+		pq.t1 = c.local.Now()
+		pq.answered = false
+		if err := c.host.HandleUDP(pq.port, pq.onPkt); err != nil {
+			c.releaseQuery(pq)
+			rnd.finish(c)
 			continue
 		}
-		timer = c.clock.Schedule(2*time.Second, func() {
-			if !answered {
-				c.host.UnhandleUDP(port)
-				finish()
-			}
-		})
-		q := ntpwire.NewClientPacket(t1)
-		if _, err := c.host.SendUDP(srv, port, ntpwire.Port, q.Marshal()); err != nil {
-			timer.Stop()
-			c.host.UnhandleUDP(port)
-			finish()
+		c.clock.ScheduleInto(&pq.timer, 2*time.Second, pq.onExpire)
+		q := ntpwire.ClientPacket(pq.t1)
+		c.wire = q.AppendMarshal(c.wire[:0])
+		if _, err := c.host.SendUDP(pq.srv, pq.port, ntpwire.Port, c.wire); err != nil {
+			pq.timer.Stop()
+			c.host.UnhandleUDP(pq.port)
+			c.releaseQuery(pq)
+			rnd.finish(c)
 		}
 	}
 }

@@ -37,10 +37,11 @@ type BootTimeResult struct {
 // RunBootTimeAttack poisons the resolver before the client boots, then
 // boots it and waits for the malicious time step.
 func RunBootTimeAttack(prof ntpclient.Profile, cfg LabConfig) (BootTimeResult, error) {
-	lab, err := NewLab(cfg)
+	lab, err := acquireLab(cfg)
 	if err != nil {
 		return BootTimeResult{}, err
 	}
+	defer releaseLab(lab)
 	res := BootTimeResult{Profile: prof.Name}
 	if err := lab.PoisonResolver(86400); err != nil {
 		return res, err
@@ -106,10 +107,11 @@ type RuntimeResult struct {
 // discovered in P2), until the client re-queries DNS, associates to the
 // attacker's servers and accepts the shifted time.
 func RunRuntimeAttack(prof ntpclient.Profile, scenario RuntimeScenario, cfg LabConfig) (RuntimeResult, error) {
-	lab, err := NewLab(cfg)
+	lab, err := acquireLab(cfg)
 	if err != nil {
 		return RuntimeResult{}, err
 	}
+	defer releaseLab(lab)
 	res := RuntimeResult{Profile: prof.Name, Scenario: scenario}
 
 	client, err := lab.NewClient(prof, 30*time.Second)
@@ -333,10 +335,11 @@ type ChronosResult struct {
 func RunChronosAttack(n, spoofedAddrs int, cfg LabConfig) (ChronosResult, error) {
 	cfg.applyDefaults()
 	cfg.EvilServers = spoofedAddrs
-	lab, err := NewLab(cfg)
+	lab, err := acquireLab(cfg)
 	if err != nil {
 		return ChronosResult{}, err
 	}
+	defer releaseLab(lab)
 	perQuery := 4
 	// The Chronos pool nameserver hands out 4 addresses per query (§VI-C);
 	// override the lab's default all-at-once pool.

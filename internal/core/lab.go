@@ -122,67 +122,146 @@ type Lab struct {
 	seedStep   int64
 }
 
+// labEpoch is the virtual start time of every laboratory.
+var labEpoch = time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC)
+
+// netOptions translates the config's path/topology settings into network
+// options plus the live topology compiler (nil without a topology).
+func (c *LabConfig) netOptions() ([]simnet.Option, *netem.Compiler, error) {
+	if c.Path != nil && c.Topology != nil {
+		return nil, nil, errors.New("core: LabConfig.Path and Topology are mutually exclusive (set the uniform path as Topology.Default)")
+	}
+	// Link randomness (loss, jitter, reordering under non-default path
+	// models) derives from the lab seed — never from a global or pinned
+	// source — so campaigns replay byte-identically at any worker count.
+	opts := []simnet.Option{simnet.WithSeed(c.Seed + 3)}
+	var topo *netem.Compiler
+	if c.Topology != nil {
+		// The compiled model is live: every host the lab adds (including
+		// clients attached mid-run) registers its role and receives the
+		// topology's per-directed-link models.
+		topo = c.Topology.Compiler()
+		opts = append(opts, simnet.WithPathModel(topo.Model()))
+	} else {
+		opts = append(opts, simnet.WithPathModel(c.Path))
+	}
+	return opts, topo, nil
+}
+
 // NewLab builds the laboratory: nameserver serving pool.ntp.org backed by
 // the honest servers, victim resolver, attacker servers and attacker host.
 func NewLab(cfg LabConfig) (*Lab, error) {
 	cfg.applyDefaults()
-	if cfg.Path != nil && cfg.Topology != nil {
-		return nil, errors.New("core: LabConfig.Path and Topology are mutually exclusive (set the uniform path as Topology.Default)")
+	opts, topo, err := cfg.netOptions()
+	if err != nil {
+		return nil, err
 	}
-	clk := simclock.New(time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC))
-	// Link randomness (loss, jitter, reordering under non-default path
-	// models) derives from the lab seed — never from a global or pinned
-	// source — so campaigns replay byte-identically at any worker count.
-	opts := []simnet.Option{simnet.WithSeed(cfg.Seed + 3)}
-	var topo *netem.Compiler
-	if cfg.Topology != nil {
-		// The compiled model is live: every host the lab adds (including
-		// clients attached mid-run) registers its role and receives the
-		// topology's per-directed-link models.
-		topo = cfg.Topology.Compiler()
-		opts = append(opts, simnet.WithPathModel(topo.Model()))
-	} else {
-		opts = append(opts, simnet.WithPathModel(cfg.Path))
-	}
+	clk := simclock.New(labEpoch)
 	l := &Lab{
 		Clock: clk,
 		Net:   simnet.New(clk, opts...),
 		cfg:   cfg,
 		topo:  topo,
 	}
+	if err := l.wire(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
 
-	authHost, err := l.addHost(NSAddr, netem.RoleNameserver, simnet.HostConfig{})
+// Reset rebuilds the laboratory in place for a new configuration, reusing
+// the clock's event queue, the network's packet pools and the attached
+// server hosts. The contract is hard: a reset lab is observably identical
+// to NewLab(cfg) — same component wiring, same RNG streams (all derived
+// from cfg.Seed), same virtual start time — which the engine equivalence
+// suite enforces byte-for-byte. Client hosts from the previous run and
+// servers beyond the new population are detached; in-flight events die with
+// the clock reset.
+func (l *Lab) Reset(cfg LabConfig) error {
+	cfg.applyDefaults()
+	opts, topo, err := cfg.netOptions()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if l.Auth, err = dnsauth.New(authHost, dnsauth.Config{PadResponsesTo: cfg.PadResponses}); err != nil {
-		return nil, err
+	// Clock first: every pending timer and ticker callback dies before any
+	// component state is touched, so nothing fires mid-reset.
+	l.Clock.Reset(labEpoch)
+	l.Net.Reset(opts...)
+	for i := byte(1); i <= l.nextClient; i++ {
+		l.Net.RemoveHost(ipv4.Addr{192, 0, 2, 100 + i})
 	}
-	resHost, err := l.addHost(ResolverAddr, netem.RoleResolver, simnet.HostConfig{})
+	for i := cfg.HonestServers; i < len(l.honestAddr); i++ {
+		l.Net.RemoveHost(l.honestAddr[i])
+	}
+	for i := cfg.EvilServers; i < len(l.evilAddr); i++ {
+		l.Net.RemoveHost(l.evilAddr[i])
+	}
+	l.nextClient, l.seedStep = 0, 0
+	l.Honest, l.Evil = l.Honest[:0], l.Evil[:0]
+	l.honestAddr, l.evilAddr = l.honestAddr[:0], l.evilAddr[:0]
+	l.cfg, l.topo = cfg, topo
+	return l.wire()
+}
+
+// labDelegations is the victim resolver's delegation table. Shared across
+// labs: the resolver only reads it.
+var labDelegations = map[string]ipv4.Addr{"ntp.org": NSAddr}
+
+// wire attaches (or re-attaches) every lab component onto the clock and
+// network, in the exact order NewLab always has: nameserver, resolver,
+// attacker, honest servers, evil servers, pool. Components that survived a
+// pool Reset still bound to their (hard-reset) hosts are reset in place
+// rather than rebuilt — same observable state, but their RNGs, maps and
+// scratch buffers are recycled instead of reallocated every seed.
+func (l *Lab) wire() error {
+	cfg := l.cfg
+	authHost, err := l.labHost(NSAddr, netem.RoleNameserver, simnet.HostConfig{})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	l.Resolver, err = dnsres.New(resHost, dnsres.Config{
-		Delegations:    map[string]ipv4.Addr{"ntp.org": NSAddr},
+	authCfg := dnsauth.Config{PadResponsesTo: cfg.PadResponses}
+	if l.Auth != nil && l.Auth.Host() == authHost {
+		err = l.Auth.Reset(authCfg)
+	} else {
+		l.Auth, err = dnsauth.New(authHost, authCfg)
+	}
+	if err != nil {
+		return err
+	}
+	resHost, err := l.labHost(ResolverAddr, netem.RoleResolver, simnet.HostConfig{})
+	if err != nil {
+		return err
+	}
+	resCfg := dnsres.Config{
+		Delegations:    labDelegations,
 		ValidateDNSSEC: cfg.ResolverValidatesDNSSEC,
 		RandSeed:       cfg.Seed + 1,
-	})
-	if err != nil {
-		return nil, err
 	}
-	eveHost, err := l.addHost(AttackerAddr, netem.RoleAttacker, simnet.HostConfig{})
-	if err != nil {
-		return nil, err
+	if l.Resolver != nil && l.Resolver.Host() == resHost {
+		err = l.Resolver.Reset(resCfg)
+	} else {
+		l.Resolver, err = dnsres.New(resHost, resCfg)
 	}
-	l.Eve = attack.New(eveHost, cfg.Seed+2)
+	if err != nil {
+		return err
+	}
+	eveHost, err := l.labHost(AttackerAddr, netem.RoleAttacker, simnet.HostConfig{})
+	if err != nil {
+		return err
+	}
+	if l.Eve != nil && l.Eve.Host() == eveHost {
+		l.Eve.Reset(cfg.Seed + 2)
+	} else {
+		l.Eve = attack.New(eveHost, cfg.Seed+2)
+	}
 	for i := 0; i < cfg.HonestServers; i++ {
 		if err := l.addHonest(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for i := 0; i < cfg.EvilServers; i++ {
 		if err := l.addEvil(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	// The pool answers with the full honest set per response, keeping the
@@ -194,7 +273,7 @@ func NewLab(cfg LabConfig) (*Lab, error) {
 		PerResponse: len(l.honestAddr),
 		TTL:         cfg.PoolTTL,
 	})
-	return l, nil
+	return nil
 }
 
 // MustNewLab is NewLab for examples and benchmarks.
@@ -222,42 +301,68 @@ func (l *Lab) addHost(addr ipv4.Addr, role netem.Role, hc simnet.HostConfig) (*s
 	return host, nil
 }
 
+// labHost returns a ready host at addr: a host kept across a pool Reset is
+// hard-reset to cfg (handlers, ports, caches, stats all cleared), otherwise
+// a fresh one is attached. Both paths register the topology role.
+func (l *Lab) labHost(addr ipv4.Addr, role netem.Role, hc simnet.HostConfig) (*simnet.Host, error) {
+	if host := l.Net.Host(addr); host != nil {
+		host.Reset(hc)
+		if l.topo != nil {
+			l.topo.Add(addr, role)
+		}
+		return host, nil
+	}
+	return l.addHost(addr, role, hc)
+}
+
 // HonestAddrs returns the honest NTP server addresses.
 func (l *Lab) HonestAddrs() []ipv4.Addr { return append([]ipv4.Addr(nil), l.honestAddr...) }
 
 // EvilAddrs returns the attacker NTP server addresses.
 func (l *Lab) EvilAddrs() []ipv4.Addr { return append([]ipv4.Addr(nil), l.evilAddr...) }
 
+// spareServer returns the server a previous wiring left in s's backing
+// array at slot idx, provided it is still bound to host (lab Reset only
+// truncates l.Honest/l.Evil, so the pointers survive between runs; a slot
+// whose host was detached compares unequal and forces a rebuild).
+func spareServer(s []*ntpserv.Server, idx int, host *simnet.Host) *ntpserv.Server {
+	if idx < cap(s) {
+		if sv := s[: idx+1 : cap(s)][idx]; sv != nil && sv.Host() == host {
+			return sv
+		}
+	}
+	return nil
+}
+
+func (l *Lab) addServer(list *[]*ntpserv.Server, addrs *[]ipv4.Addr, addr ipv4.Addr, role netem.Role, cfg ntpserv.Config) error {
+	host, err := l.labHost(addr, role, simnet.HostConfig{})
+	if err != nil {
+		return err
+	}
+	s := spareServer(*list, len(*list), host)
+	if s != nil {
+		err = s.Reset(cfg)
+	} else {
+		s, err = ntpserv.New(host, cfg)
+	}
+	if err != nil {
+		return err
+	}
+	*list = append(*list, s)
+	*addrs = append(*addrs, addr)
+	return nil
+}
+
 func (l *Lab) addHonest() error {
 	addr := ipv4.Addr{10, 0, byte(len(l.honestAddr) >> 8), byte(len(l.honestAddr) + 1)}
-	host, err := l.addHost(addr, netem.RoleNTPServer, simnet.HostConfig{})
-	if err != nil {
-		return err
-	}
-	s, err := ntpserv.New(host, ntpserv.Config{
+	return l.addServer(&l.Honest, &l.honestAddr, addr, netem.RoleNTPServer, ntpserv.Config{
 		RateLimit: ntpserv.RateLimitConfig{Enabled: *l.cfg.RateLimitHonest},
 	})
-	if err != nil {
-		return err
-	}
-	l.Honest = append(l.Honest, s)
-	l.honestAddr = append(l.honestAddr, addr)
-	return nil
 }
 
 func (l *Lab) addEvil() error {
 	addr := ipv4.Addr{6, 6, byte(len(l.evilAddr) >> 8), byte(len(l.evilAddr) + 1)}
-	host, err := l.addHost(addr, netem.RoleEvilServer, simnet.HostConfig{})
-	if err != nil {
-		return err
-	}
-	s, err := ntpserv.New(host, ntpserv.Config{Offset: l.cfg.EvilOffset})
-	if err != nil {
-		return err
-	}
-	l.Evil = append(l.Evil, s)
-	l.evilAddr = append(l.evilAddr, addr)
-	return nil
+	return l.addServer(&l.Evil, &l.evilAddr, addr, netem.RoleEvilServer, ntpserv.Config{Offset: l.cfg.EvilOffset})
 }
 
 // GrowEvil adds attacker NTP servers until the lab has n (Chronos needs
@@ -346,7 +451,7 @@ func (c *Campaign) plantOnce() {
 			if err != nil {
 				return
 			}
-			frags, err := attack.BuildSpoofedFragments(attack.PoisonPlan{
+			frags, err := l.Eve.BuildSpoofedFragments(attack.PoisonPlan{
 				NS:        NSAddr,
 				Resolver:  ResolverAddr,
 				Template:  template,

@@ -1,0 +1,67 @@
+package core
+
+import "sync"
+
+// The lab pool recycles fully wired laboratories across campaign seeds.
+// Building a lab allocates a clock, a network, a dozen hosts and their
+// component servers; at campaign scale (thousands of seeds) that
+// construction cost and allocation churn dominated the per-seed budget.
+// Reset's hard contract (a reset lab is observably identical to a fresh
+// one) makes reuse safe, and the engine equivalence suite holds it to
+// byte-identical campaign output.
+var labPool struct {
+	mu       sync.Mutex
+	labs     []*Lab
+	disabled bool
+}
+
+// labPoolMax bounds retained labs; beyond it released labs are dropped for
+// the GC. Campaign workers are capped well below this.
+const labPoolMax = 32
+
+// acquireLab returns a laboratory configured exactly per cfg: a pooled lab
+// hard-reset to cfg when one is available, otherwise a fresh build.
+func acquireLab(cfg LabConfig) (*Lab, error) {
+	labPool.mu.Lock()
+	if labPool.disabled || len(labPool.labs) == 0 {
+		labPool.mu.Unlock()
+		return NewLab(cfg)
+	}
+	n := len(labPool.labs)
+	l := labPool.labs[n-1]
+	labPool.labs[n-1] = nil
+	labPool.labs = labPool.labs[:n-1]
+	labPool.mu.Unlock()
+	if err := l.Reset(cfg); err != nil {
+		// Reset only fails on configs NewLab rejects too; surface the
+		// identical error from the identical validation path.
+		return NewLab(cfg)
+	}
+	return l, nil
+}
+
+// releaseLab returns a finished laboratory to the pool. The lab may carry
+// arbitrary run state — the next acquire hard-resets it.
+func releaseLab(l *Lab) {
+	if l == nil {
+		return
+	}
+	labPool.mu.Lock()
+	if !labPool.disabled && len(labPool.labs) < labPoolMax {
+		labPool.labs = append(labPool.labs, l)
+	}
+	labPool.mu.Unlock()
+}
+
+// SetLabPooling enables or disables lab reuse across experiment runs
+// (enabled by default). Disabling drains the pool, so every subsequent run
+// builds its lab from scratch — the reference behaviour the engine
+// equivalence tests compare pooled output against.
+func SetLabPooling(enabled bool) {
+	labPool.mu.Lock()
+	labPool.disabled = !enabled
+	if !enabled {
+		labPool.labs = nil
+	}
+	labPool.mu.Unlock()
+}

@@ -155,6 +155,16 @@ type Server struct {
 
 	// QueriesServed counts answered queries (measurement aid).
 	QueriesServed int
+
+	// Per-server scratch state for the query hot path. SendUDP/SendUDPMTU
+	// copy the payload before returning, so the wire buffers are safe to
+	// reuse across queries.
+	dec        dnswire.Decoder
+	query      dnswire.Message
+	resp       dnswire.Message
+	wire       []byte
+	padScratch []byte
+	filler     string
 }
 
 // New binds an authoritative server to port 53 on host.
@@ -169,6 +179,22 @@ func New(host *simnet.Host, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("dnsauth: bind: %w", err)
 	}
 	return s, nil
+}
+
+// Reset re-binds the server to its (freshly host.Reset) host under a new
+// configuration, restoring the observable state New produces: no zones, no
+// pools, zero counters, handler on port 53. Decode/encode scratch, the
+// padding filler and the map storage survive — a pooled lab resets its
+// nameserver every campaign seed and re-adds its zones afterwards.
+func (s *Server) Reset(cfg Config) error {
+	s.cfg = cfg
+	clear(s.zones)
+	clear(s.pools)
+	s.QueriesServed = 0
+	if err := s.host.HandleUDP(DNSPort, s.handle); err != nil {
+		return fmt.Errorf("dnsauth: bind: %w", err)
+	}
+	return nil
 }
 
 // Host returns the underlying simnet host.
@@ -213,18 +239,16 @@ func (s *Server) zoneFor(name string) *Zone {
 }
 
 func (s *Server) handle(src ipv4.Addr, srcPort uint16, payload []byte) {
-	q, err := dnswire.Unmarshal(payload)
-	if err != nil || q.Header.QR || len(q.Questions) != 1 {
+	q := &s.query
+	if err := s.dec.UnmarshalInto(q, payload); err != nil || q.Header.QR || len(q.Questions) != 1 {
 		return
 	}
-	resp := s.Respond(q)
-	if resp == nil {
-		return
-	}
-	wire, err := resp.Marshal()
+	s.respondInto(q, &s.resp)
+	wire, err := s.resp.AppendMarshal(s.wire[:0])
 	if err != nil {
 		return
 	}
+	s.wire = wire
 	s.QueriesServed++
 	if s.cfg.AlwaysFragmentMTU > 0 {
 		_, _ = s.host.SendUDPMTU(src, DNSPort, srcPort, wire, s.cfg.AlwaysFragmentMTU)
@@ -236,9 +260,23 @@ func (s *Server) handle(src ipv4.Addr, srcPort uint16, payload []byte) {
 // Respond computes the authoritative response for a query without sending
 // it (exported so resolvers and tests can exercise zone logic directly).
 func (s *Server) Respond(q *dnswire.Message) *dnswire.Message {
+	resp := &dnswire.Message{}
+	s.respondInto(q, resp)
+	return resp
+}
+
+// respondInto is Respond writing into a caller-owned message, reusing its
+// section slices — the hot path answers every query with one reused message.
+func (s *Server) respondInto(q, resp *dnswire.Message) {
 	name := dnswire.CanonicalName(q.Questions[0].Name)
 	qtype := q.Questions[0].Type
-	resp := dnswire.NewResponse(q)
+	*resp = dnswire.Message{
+		Header:     dnswire.Header{ID: q.Header.ID, QR: true, RD: q.Header.RD},
+		Questions:  append(resp.Questions[:0], q.Questions...),
+		Answers:    resp.Answers[:0],
+		Authority:  resp.Authority[:0],
+		Additional: resp.Additional[:0],
+	}
 	resp.Header.AA = true
 
 	var signed, bogus bool
@@ -271,12 +309,12 @@ func (s *Server) Respond(q *dnswire.Message) *dnswire.Message {
 		}
 	} else if s.poolFor(name) == nil {
 		resp.Header.RCode = dnswire.RCodeNXDomain
-		return resp
+		return
 	}
 
 	if len(resp.Answers) == 0 {
 		resp.Header.RCode = dnswire.RCodeNXDomain
-		return resp
+		return
 	}
 
 	if signed {
@@ -293,14 +331,17 @@ func (s *Server) Respond(q *dnswire.Message) *dnswire.Message {
 	if s.cfg.PadResponsesTo > 0 {
 		s.pad(resp, name)
 	}
-	return resp
 }
 
 // pad grows the response with a TXT filler record until the encoded size
 // reaches cfg.PadResponsesTo.
 func (s *Server) pad(resp *dnswire.Message, name string) {
-	b, err := resp.Marshal()
-	if err != nil || len(b) >= s.cfg.PadResponsesTo {
+	b, err := resp.AppendMarshal(s.padScratch[:0])
+	if err != nil {
+		return
+	}
+	s.padScratch = b
+	if len(b) >= s.cfg.PadResponsesTo {
 		return
 	}
 	// TXT overhead: pointer(2)+type/class/ttl/rdlen(10)+len-bytes.
@@ -308,7 +349,10 @@ func (s *Server) pad(resp *dnswire.Message, name string) {
 	if need < 1 {
 		need = 1
 	}
-	filler := strings.Repeat("p", need)
+	if need > len(s.filler) {
+		s.filler = strings.Repeat("p", need)
+	}
+	filler := s.filler[:need]
 	resp.Additional = append(resp.Additional, dnswire.RR{
 		Name: name, Type: dnswire.TypeTXT, Class: dnswire.ClassIN, TTL: 0, Text: filler,
 	})

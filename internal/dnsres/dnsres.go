@@ -81,6 +81,22 @@ type Resolver struct {
 	rng   *rand.Rand
 	cache map[cacheKey]CacheEntry
 	stats Stats
+
+	// dec and rxMsg are the upstream-response decode scratch: the handler
+	// fully consumes the message before returning (acceptAnswer copies the
+	// RR values it keeps), and packet deliveries never nest, so one reused
+	// message absorbs the attacker's response floods without allocating.
+	dec   dnswire.Decoder
+	rxMsg dnswire.Message
+
+	// cliDec and cliMsg decode client queries; handleClient copies the
+	// question value out before any asynchronous work, so the scratch is
+	// free for the next arrival. replyBuf is the response encode buffer —
+	// a reply encodes and sends in one step (SendUDP copies), so even
+	// replies fired from asynchronous lookup callbacks can share it.
+	cliDec   dnswire.Decoder
+	cliMsg   dnswire.Message
+	replyBuf []byte
 }
 
 // New binds a resolver to port 53 of host.
@@ -102,6 +118,28 @@ func New(host *simnet.Host, cfg Config) (*Resolver, error) {
 		return nil, fmt.Errorf("dnsres: bind: %w", err)
 	}
 	return r, nil
+}
+
+// Reset re-binds the resolver to its (freshly host.Reset) host under a new
+// configuration, restoring the observable state New produces: empty cache,
+// zero stats, RNG stream identical to rand.New(rand.NewSource(RandSeed)).
+// Decode scratch — including the decoders' name-intern tables, which hold
+// only immutable content-addressed strings — and map storage are retained.
+func (r *Resolver) Reset(cfg Config) error {
+	if cfg.QueryTimeout == 0 {
+		cfg.QueryTimeout = 2 * time.Second
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 1
+	}
+	r.cfg = cfg
+	r.rng.Seed(cfg.RandSeed)
+	clear(r.cache)
+	r.stats = Stats{}
+	if err := r.host.HandleUDP(DNSPort, r.handleClient); err != nil {
+		return fmt.Errorf("dnsres: bind: %w", err)
+	}
+	return nil
 }
 
 // Host returns the resolver's simnet host.
@@ -321,8 +359,8 @@ func (r *Resolver) queryUpstream(server ipv4.Addr, name string, qtype dnswire.Ty
 		if src != server || srcPort != DNSPort {
 			return
 		}
-		m, err := dnswire.Unmarshal(payload)
-		if err != nil || !m.Header.QR || m.Header.ID != txid {
+		m := &r.rxMsg
+		if err := r.dec.UnmarshalInto(m, payload); err != nil || !m.Header.QR || m.Header.ID != txid {
 			return
 		}
 		if len(m.Questions) != 1 || dnswire.CanonicalName(m.Questions[0].Name) != name || m.Questions[0].Type != qtype {
@@ -369,28 +407,36 @@ func (r *Resolver) queryUpstream(server ipv4.Addr, name string, qtype dnswire.Ty
 // resolved recursively; RD=0 queries are answered from cache only — the
 // semantics the cache-snooping measurement (Section VIII-A) relies on.
 func (r *Resolver) handleClient(src ipv4.Addr, srcPort uint16, payload []byte) {
-	q, err := dnswire.Unmarshal(payload)
-	if err != nil || q.Header.QR || len(q.Questions) != 1 {
+	q := &r.cliMsg
+	if err := r.cliDec.UnmarshalInto(q, payload); err != nil || q.Header.QR || len(q.Questions) != 1 {
 		return
 	}
 	r.stats.ClientQueries++
-	name := dnswire.CanonicalName(q.Questions[0].Name)
-	qtype := q.Questions[0].Type
+	// Copy the header bits and question value out of the decode scratch:
+	// the reply may fire from an asynchronous lookup callback, long after
+	// the scratch has been reused (the question's name is interned, so the
+	// value copy retains nothing from the wire buffer).
+	txid, rd := q.Header.ID, q.Header.RD
+	question := q.Questions[0]
+	name := dnswire.CanonicalName(question.Name)
+	qtype := question.Type
 
 	reply := func(rrs []dnswire.RR, rcode dnswire.RCode) {
-		resp := dnswire.NewResponse(q)
+		resp := dnswire.Message{Header: dnswire.Header{ID: txid, QR: true, RD: rd}}
+		resp.Questions = append(resp.Questions, question)
 		resp.Header.RA = true
 		resp.Header.RCode = rcode
 		resp.Header.AD = r.cfg.ValidateDNSSEC && rcode == dnswire.RCodeNoError && len(rrs) > 0
 		resp.Answers = rrs
-		wire, err := resp.Marshal()
+		wire, err := resp.AppendMarshal(r.replyBuf[:0])
 		if err != nil {
 			return
 		}
+		r.replyBuf = wire
 		_, _ = r.host.SendUDP(src, DNSPort, srcPort, wire)
 	}
 
-	if !q.Header.RD {
+	if !rd {
 		if rrs, ok := r.cached(name, qtype); ok {
 			r.stats.CacheHits++
 			reply(rrs, dnswire.RCodeNoError)

@@ -19,6 +19,14 @@ type Stub struct {
 	rng      *rand.Rand
 	// Timeout bounds each query (default 3 s).
 	Timeout time.Duration
+
+	// dec and rxMsg are the response-decode scratch. The message handed to
+	// a Lookup callback is valid only during that callback: every consumer
+	// (LookupA, snooping scans) extracts what it keeps into fresh values
+	// before returning, and handlers never nest on the single-threaded
+	// event loop.
+	dec   dnswire.Decoder
+	rxMsg dnswire.Message
 }
 
 // NewStub returns a stub that queries resolver from host.
@@ -38,7 +46,10 @@ func (s *Stub) Resolver() ipv4.Addr { return s.resolver }
 func (s *Stub) SetResolver(a ipv4.Addr) { s.resolver = a }
 
 // Lookup sends one query and calls done with the full response message.
-// rd=false performs a cache-snooping (non-recursive) query.
+// rd=false performs a cache-snooping (non-recursive) query. The message is
+// the stub's decode scratch: it is valid only for the duration of the
+// callback, which must copy anything it keeps (decoded names are shared
+// immutable strings and safe to retain as-is).
 func (s *Stub) Lookup(name string, qtype dnswire.Type, rd bool, done func(*dnswire.Message, error)) {
 	name = dnswire.CanonicalName(name)
 	txid := uint16(s.rng.Intn(1 << 16))
@@ -48,8 +59,8 @@ func (s *Stub) Lookup(name string, qtype dnswire.Type, rd bool, done func(*dnswi
 		if src != s.resolver || srcPort != DNSPort {
 			return
 		}
-		m, err := dnswire.Unmarshal(payload)
-		if err != nil || !m.Header.QR || m.Header.ID != txid {
+		m := &s.rxMsg
+		if err := s.dec.UnmarshalInto(m, payload); err != nil || !m.Header.QR || m.Header.ID != txid {
 			return
 		}
 		timer.Stop()

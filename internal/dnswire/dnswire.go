@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"dnstime/internal/ipv4"
 )
@@ -148,9 +149,35 @@ const (
 	flagAD = 1 << 5
 )
 
+// nameOffset records one encoded name suffix for RFC 1035 compression. A
+// message carries only a handful of distinct suffixes, so a linear table
+// beats a map: no hashing, and reset is a reslice.
+type nameOffset struct {
+	name string
+	off  int
+}
+
 type encoder struct {
 	buf     []byte
-	offsets map[string]int // name -> first encoded offset, for compression
+	base    int          // message start within buf (AppendMarshal may append)
+	offsets []nameOffset // name -> first encoded offset, for compression
+}
+
+// lookup returns the first encoded offset of name, if any.
+func (e *encoder) lookup(name string) (int, bool) {
+	for i := range e.offsets {
+		if e.offsets[i].name == name {
+			return e.offsets[i].off, true
+		}
+	}
+	return 0, false
+}
+
+// encoderPool recycles encoder compression state across Marshal calls; the
+// resolver/nameserver hot paths encode thousands of messages per simulated
+// campaign and the compression state dominated their allocation profile.
+var encoderPool = sync.Pool{
+	New: func() any { return &encoder{} },
 }
 
 func (e *encoder) uint16(v uint16) {
@@ -169,12 +196,12 @@ func (e *encoder) uint32(v uint32) {
 func (e *encoder) name(n string) error {
 	n = CanonicalName(n)
 	for n != "" {
-		if off, ok := e.offsets[n]; ok && off < 0x4000 {
+		if off, ok := e.lookup(n); ok && off < 0x4000 {
 			e.uint16(uint16(0xC000 | off))
 			return nil
 		}
-		if len(e.buf) < 0x4000 {
-			e.offsets[n] = len(e.buf)
+		if off := len(e.buf) - e.base; off < 0x4000 {
+			e.offsets = append(e.offsets, nameOffset{n, off})
 		}
 		label := n
 		rest := ""
@@ -232,7 +259,30 @@ func (e *encoder) rr(r RR) error {
 
 // Marshal encodes the message to wire format.
 func (m *Message) Marshal() ([]byte, error) {
-	e := &encoder{offsets: make(map[string]int)}
+	b, err := m.AppendMarshal(nil)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// AppendMarshal encodes the message to wire format, appending to dst and
+// returning the extended slice. Name-compression state comes from an
+// internal pool, so encoding into a reused caller buffer allocates nothing
+// beyond the buffer's own growth — the send hot path of the resolver and
+// nameserver.
+func (m *Message) AppendMarshal(dst []byte) ([]byte, error) {
+	e, _ := encoderPool.Get().(*encoder)
+	e.buf = dst
+	e.base = len(dst)
+	out, err := e.message(m)
+	e.buf = nil
+	e.offsets = e.offsets[:0]
+	encoderPool.Put(e)
+	return out, err
+}
+
+func (e *encoder) message(m *Message) ([]byte, error) {
 	e.uint16(m.Header.ID)
 	var flags uint16
 	if m.Header.QR {
@@ -282,9 +332,15 @@ func (m *Message) Marshal() ([]byte, error) {
 }
 
 type decoder struct {
-	buf []byte
-	pos int
+	buf     []byte
+	pos     int
+	nameBuf []byte            // scratch the current name is assembled into
+	intern  map[string]string // optional name intern table (Decoder only)
 }
+
+// maxInterned bounds a Decoder's intern table; past it, new names are
+// still decoded correctly, just not retained.
+const maxInterned = 4096
 
 func (d *decoder) uint16() (uint16, error) {
 	if d.pos+2 > len(d.buf) {
@@ -304,9 +360,13 @@ func (d *decoder) uint32() (uint32, error) {
 	return v, nil
 }
 
-// name decodes a possibly-compressed domain name starting at d.pos.
+// name decodes a possibly-compressed domain name starting at d.pos. The
+// name is assembled lowercased into the decoder's scratch buffer and
+// interned when the decoder carries an intern table, so repeated names
+// decode without allocating. Lowercasing is ASCII-only — exactly the
+// case-insensitivity DNS defines (RFC 4343).
 func (d *decoder) name() (string, error) {
-	var labels []string
+	d.nameBuf = d.nameBuf[:0]
 	pos := d.pos
 	jumped := false
 	hops := 0
@@ -320,7 +380,7 @@ func (d *decoder) name() (string, error) {
 			if !jumped {
 				d.pos = pos + 1
 			}
-			return strings.Join(labels, "."), nil
+			return d.internName(), nil
 		case c&0xC0 == 0xC0:
 			if pos+2 > len(d.buf) {
 				return "", ErrShortMessage
@@ -343,13 +403,38 @@ func (d *decoder) name() (string, error) {
 			if pos+1+int(c) > len(d.buf) {
 				return "", ErrShortMessage
 			}
-			labels = append(labels, strings.ToLower(string(d.buf[pos+1:pos+1+int(c)])))
+			if len(d.nameBuf) > 0 {
+				d.nameBuf = append(d.nameBuf, '.')
+			}
+			for _, ch := range d.buf[pos+1 : pos+1+int(c)] {
+				if 'A' <= ch && ch <= 'Z' {
+					ch += 'a' - 'A'
+				}
+				d.nameBuf = append(d.nameBuf, ch)
+			}
 			pos += 1 + int(c)
 			if !jumped {
 				d.pos = pos
 			}
 		}
 	}
+}
+
+// internName materialises the scratch buffer as a string, sharing one
+// immutable copy per distinct name when an intern table is present (the
+// map lookup with a byte-slice key does not allocate).
+func (d *decoder) internName() string {
+	if len(d.nameBuf) == 0 {
+		return ""
+	}
+	if s, ok := d.intern[string(d.nameBuf)]; ok {
+		return s
+	}
+	s := string(d.nameBuf)
+	if d.intern != nil && len(d.intern) < maxInterned {
+		d.intern[s] = s
+	}
+	return s
 }
 
 func (d *decoder) rr() (RR, error) {
@@ -397,16 +482,19 @@ func (d *decoder) rr() (RR, error) {
 		r.Target = target
 		d.pos = end
 	case TypeTXT:
-		var sb strings.Builder
+		// Reuse the name scratch (the record's name is already
+		// materialised) and the intern table: snooping scans decode the
+		// same handful of TXT payloads thousands of times per campaign.
+		d.nameBuf = d.nameBuf[:0]
 		for p := d.pos; p < end; {
 			l := int(d.buf[p])
 			if p+1+l > end {
 				return r, ErrShortMessage
 			}
-			sb.Write(d.buf[p+1 : p+1+l])
+			d.nameBuf = append(d.nameBuf, d.buf[p+1:p+1+l]...)
 			p += 1 + l
 		}
-		r.Text = sb.String()
+		r.Text = d.internName()
 		d.pos = end
 	default:
 		r.Raw = append([]byte(nil), d.buf[d.pos:end]...)
@@ -417,11 +505,46 @@ func (d *decoder) rr() (RR, error) {
 
 // Unmarshal decodes a wire-format DNS message.
 func Unmarshal(b []byte) (*Message, error) {
-	if len(b) < 12 {
-		return nil, ErrShortMessage
+	var d decoder
+	d.buf = b
+	m := &Message{}
+	if err := d.message(m); err != nil {
+		return nil, err
 	}
-	d := &decoder{buf: b}
-	var m Message
+	return m, nil
+}
+
+// Decoder decodes wire-format messages with reusable state: the
+// destination Message's section slices are recycled and decoded names are
+// interned, so a warm Decoder on a hot path allocates only for
+// never-before-seen names and non-A rdata. Decoded strings are shared
+// immutable interned copies and each record's Raw is freshly allocated, so
+// callers may retain individual Questions/RR values — but not the section
+// slices themselves, which the next UnmarshalInto overwrites. A Decoder is
+// not safe for concurrent use.
+type Decoder struct {
+	d decoder
+}
+
+// UnmarshalInto decodes b into m, replacing m's previous contents and
+// reusing its section slices' capacity. On error m holds partially decoded
+// data and must not be used.
+func (dc *Decoder) UnmarshalInto(m *Message, b []byte) error {
+	if dc.d.intern == nil {
+		dc.d.intern = make(map[string]string)
+	}
+	dc.d.buf, dc.d.pos = b, 0
+	err := dc.d.message(m)
+	dc.d.buf = nil // do not retain the caller's wire buffer between calls
+	return err
+}
+
+// message decodes the whole message into m, truncating and reusing m's
+// section slices.
+func (d *decoder) message(m *Message) error {
+	if len(d.buf) < 12 {
+		return ErrShortMessage
+	}
 	id, _ := d.uint16()
 	flags, _ := d.uint16()
 	m.Header = Header{
@@ -440,36 +563,47 @@ func Unmarshal(b []byte) (*Message, error) {
 	ns, _ := d.uint16()
 	ar, err := d.uint16()
 	if err != nil {
-		return nil, err
+		return err
 	}
+	m.Questions = m.Questions[:0]
 	for i := 0; i < int(qd); i++ {
 		name, err := d.name()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t, err := d.uint16()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cl, err := d.uint16()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.Questions = append(m.Questions, Question{Name: name, Type: Type(t), Class: Class(cl)})
 	}
-	for _, sec := range []struct {
-		n   int
-		dst *[]RR
-	}{{int(an), &m.Answers}, {int(ns), &m.Authority}, {int(ar), &m.Additional}} {
-		for i := 0; i < sec.n; i++ {
-			r, err := d.rr()
-			if err != nil {
-				return nil, err
-			}
-			*sec.dst = append(*sec.dst, r)
+	m.Answers, m.Authority, m.Additional = m.Answers[:0], m.Authority[:0], m.Additional[:0]
+	for i := 0; i < int(an); i++ {
+		r, err := d.rr()
+		if err != nil {
+			return err
 		}
+		m.Answers = append(m.Answers, r)
 	}
-	return &m, nil
+	for i := 0; i < int(ns); i++ {
+		r, err := d.rr()
+		if err != nil {
+			return err
+		}
+		m.Authority = append(m.Authority, r)
+	}
+	for i := 0; i < int(ar); i++ {
+		r, err := d.rr()
+		if err != nil {
+			return err
+		}
+		m.Additional = append(m.Additional, r)
+	}
+	return nil
 }
 
 // NewQuery builds a standard recursive query for (name, type).

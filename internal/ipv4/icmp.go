@@ -96,6 +96,17 @@ func NewPMTUCache(clock *simclock.Clock, minAccepted int) *PMTUCache {
 	}
 }
 
+// Reset empties the cache and adopts a new acceptance floor (with the same
+// clamping as NewPMTUCache), for host reuse across pooled-lab runs.
+func (c *PMTUCache) Reset(minAccepted int) {
+	if minAccepted < MinMTU {
+		minAccepted = MinMTU
+	}
+	c.MinAccepted = minAccepted
+	c.TTL = 10 * time.Minute
+	clear(c.entries)
+}
+
 // Update records an MTU learned for dst. It reports whether the update was
 // accepted (MTUs below the acceptance floor are ignored, modelling stacks
 // that clamp or discard tiny-MTU ICMPs).

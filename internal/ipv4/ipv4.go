@@ -107,6 +107,14 @@ func (p *Packet) Clone() *Packet {
 	return &q
 }
 
+// CopyFrom makes p a deep copy of src, reusing p's payload capacity — the
+// zero-allocation counterpart of Clone for pooled packets.
+func (p *Packet) CopyFrom(src *Packet) {
+	payload := p.Payload[:0]
+	*p = *src
+	p.Payload = append(payload, src.Payload...)
+}
+
 // String renders a compact one-line description, used by packet traces.
 func (p *Packet) String() string {
 	frag := ""

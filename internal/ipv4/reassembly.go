@@ -1,6 +1,7 @@
 package ipv4
 
 import (
+	"bytes"
 	"time"
 
 	"dnstime/internal/simclock"
@@ -54,11 +55,17 @@ type ReassemblyStats struct {
 }
 
 // Reassembler is an IPv4 defragmentation cache driven by a virtual clock.
+// Fragment bytes are applied into a persistent per-bucket buffer on
+// arrival (the overlap policy decides winners at write time), so Add never
+// retains the caller's packet or payload and performs no per-arrival
+// re-assembly work. Dropped buckets return to a free list, keeping the
+// cache allocation-lean under the attacker's bucket-filling floods.
 type Reassembler struct {
 	clock   *simclock.Clock
 	policy  ReassemblyPolicy
 	buckets map[bucketKey]*bucket
 	perPair map[pairKey]int
+	free    []*bucket
 	stats   ReassemblyStats
 }
 
@@ -73,15 +80,14 @@ type pairKey struct {
 	proto    Protocol
 }
 
-type fragment struct {
-	off  int
-	data []byte
-}
-
 type bucket struct {
-	frags    []fragment // in arrival order
-	totalLen int        // -1 until the MF=0 fragment arrives
-	expiry   *simclock.Timer
+	buf      []byte // assembled bytes, grown to the highest fragment end
+	covered  []byte // 1 where buf holds fragment data (byte-wide: coverage scans vectorise)
+	totalLen int    // -1 until the MF=0 fragment arrives
+	key      bucketKey
+	pair     pairKey
+	expireFn func()         // timeout callback bound to this bucket, reused across recycles
+	expiry   simclock.Timer // caller-owned timer, re-armed in place
 }
 
 // NewReassembler returns a defragmentation cache using the given policy.
@@ -106,6 +112,60 @@ func NewReassembler(clock *simclock.Clock, policy ReassemblyPolicy) *Reassembler
 // Stats returns a snapshot of cache counters.
 func (r *Reassembler) Stats() ReassemblyStats { return r.stats }
 
+// Reset empties the cache and zeroes its counters, adopting policy (with
+// the same defaulting as NewReassembler). Expiry timers are assumed dead —
+// the lab pool resets the clock before resetting hosts — so buckets are
+// recycled without stopping them. A reset cache is indistinguishable from a
+// fresh one while keeping its bucket free list warm.
+func (r *Reassembler) Reset(policy ReassemblyPolicy) {
+	if policy.Overlap == 0 {
+		policy.Overlap = FirstWins
+	}
+	if policy.Timeout == 0 {
+		policy.Timeout = 30 * time.Second
+	}
+	if policy.MaxPerPair == 0 {
+		policy.MaxPerPair = 64
+	}
+	r.policy = policy
+	for key, b := range r.buckets {
+		delete(r.buckets, key)
+		r.recycle(b)
+	}
+	clear(r.perPair)
+	r.stats = ReassemblyStats{}
+}
+
+// acquireBucket takes a bucket from the free list (or allocates one) and
+// restores it to the empty state. The timeout closure is built once per
+// bucket and reads the bucket's current key fields, so recycled buckets
+// re-arm their expiry without allocating.
+func (r *Reassembler) acquireBucket() *bucket {
+	if n := len(r.free); n > 0 {
+		b := r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		return b
+	}
+	b := &bucket{totalLen: -1}
+	b.expireFn = func() { r.expire(b.key, b.pair) }
+	return b
+}
+
+// recycle returns a dropped bucket to the free list. The coverage bitmap is
+// cleared out to its full capacity so a reused bucket never sees stale
+// coverage; the byte buffer needs no clearing because completeness requires
+// every read byte to have been covered (written) this cycle.
+func (r *Reassembler) recycle(b *bucket) {
+	b.buf = b.buf[:0]
+	b.covered = b.covered[:cap(b.covered)]
+	clear(b.covered)
+	b.covered = b.covered[:0]
+	b.totalLen = -1
+	b.expiry = simclock.Timer{}
+	r.free = append(r.free, b)
+}
+
 // PendingBuckets reports the number of incomplete reassembly buckets for a
 // (src,dst,proto) pair — what the attacker is filling when it plants
 // fragments under many candidate IPIDs.
@@ -116,7 +176,9 @@ func (r *Reassembler) PendingBuckets(src, dst Addr, proto Protocol) int {
 // Add feeds one packet into the cache. Non-fragments are returned
 // immediately. Fragments are buffered; when a datagram completes, the
 // reassembled packet is returned. The boolean reports whether a full packet
-// is being returned.
+// is being returned. Add never retains p or p.Payload: fragment bytes are
+// copied into the bucket's own buffer at write time, so callers may recycle
+// the packet as soon as Add returns.
 func (r *Reassembler) Add(p *Packet) (*Packet, bool) {
 	if !p.IsFragment() {
 		return p, true
@@ -129,27 +191,28 @@ func (r *Reassembler) Add(p *Packet) (*Packet, bool) {
 			r.stats.FragmentsOut++
 			return nil, false
 		}
-		b = &bucket{totalLen: -1}
-		b.expiry = r.clock.Schedule(r.policy.Timeout, func() {
-			r.dropBucket(key, pair)
-			r.stats.Expired++
-		})
+		b = r.acquireBucket()
+		b.key, b.pair = key, pair
+		r.clock.ScheduleInto(&b.expiry, r.policy.Timeout, b.expireFn)
 		r.buckets[key] = b
 		r.perPair[pair]++
 	}
 	r.stats.FragmentsIn++
-	b.frags = append(b.frags, fragment{off: p.FragOff, data: append([]byte(nil), p.Payload...)})
+	b.apply(p.FragOff, p.Payload, r.policy.Overlap)
 	if !p.MF {
 		end := p.FragOff + len(p.Payload)
 		if b.totalLen < 0 || end < b.totalLen {
 			b.totalLen = end
 		}
 	}
-	payload, done := b.assemble(r.policy.Overlap)
-	if !done {
+	if !b.complete() {
 		return nil, false
 	}
 	b.expiry.Stop()
+	// Transfer the assembled buffer out of the bucket before recycling it:
+	// the returned packet owns its payload.
+	payload := b.buf[:b.totalLen:b.totalLen]
+	b.buf = nil
 	r.dropBucket(key, pair)
 	r.stats.Reassembled++
 	whole := &Packet{
@@ -163,11 +226,19 @@ func (r *Reassembler) Add(p *Packet) (*Packet, bool) {
 	return whole, true
 }
 
+// expire is the bucket-timeout callback.
+func (r *Reassembler) expire(key bucketKey, pair pairKey) {
+	r.dropBucket(key, pair)
+	r.stats.Expired++
+}
+
 func (r *Reassembler) dropBucket(key bucketKey, pair pairKey) {
-	if _, ok := r.buckets[key]; !ok {
+	b, ok := r.buckets[key]
+	if !ok {
 		return
 	}
 	delete(r.buckets, key)
+	r.recycle(b)
 	if r.perPair[pair] > 0 {
 		r.perPair[pair]--
 	}
@@ -176,48 +247,74 @@ func (r *Reassembler) dropBucket(key bucketKey, pair pairKey) {
 	}
 }
 
-// assemble attempts to build the full payload. It reports success only when
-// the final-fragment length is known and coverage is contiguous from 0.
-func (b *bucket) assemble(overlap OverlapPolicy) ([]byte, bool) {
-	if b.totalLen < 0 {
-		return nil, false
+// apply writes one fragment's bytes into the bucket buffer, growing it to
+// the fragment's end. Under FirstWins, positions already covered keep their
+// bytes — application order is arrival order, so write-time resolution is
+// exactly the old assemble-time resolution. Bytes past a later-learned
+// totalLen are never read, so no clipping is needed.
+func (b *bucket) apply(off int, data []byte, overlap OverlapPolicy) {
+	end := off + len(data)
+	if end > len(b.buf) {
+		b.buf = growBytes(b.buf, end)
+		b.covered = growBytes0(b.covered, end)
 	}
-	buf := make([]byte, b.totalLen)
-	covered := make([]bool, b.totalLen)
-	apply := func(f fragment) {
-		for i, c := range f.data {
-			pos := f.off + i
-			if pos >= b.totalLen {
-				break
-			}
-			if overlap == FirstWins && covered[pos] {
+	if overlap == FirstWins && bytes.IndexByte(b.covered[off:end], 1) >= 0 {
+		// Overlap under FirstWins: earlier bytes win, merge byte by byte.
+		for i, c := range data {
+			pos := off + i
+			if b.covered[pos] != 0 {
 				continue
 			}
-			buf[pos] = c
-			covered[pos] = true
+			b.buf[pos] = c
+			b.covered[pos] = 1
 		}
+		return
 	}
-	if overlap == FirstWins {
-		for _, f := range b.frags {
-			apply(f)
-		}
-	} else {
-		// LastWins: apply in arrival order with overwrite semantics.
-		for _, f := range b.frags {
-			for i, c := range f.data {
-				pos := f.off + i
-				if pos >= b.totalLen {
-					break
-				}
-				buf[pos] = c
-				covered[pos] = true
-			}
-		}
+	// LastWins, or FirstWins over untouched bytes: block copy.
+	copy(b.buf[off:end], data)
+	markCovered(b.covered[off:end])
+}
+
+// onesBlock is a static all-ones source so coverage marking is a memmove
+// instead of a byte loop.
+var onesBlock = func() (b [4096]byte) {
+	for i := range b {
+		b[i] = 1
 	}
-	for _, c := range covered {
-		if !c {
-			return nil, false
-		}
+	return
+}()
+
+func markCovered(cov []byte) {
+	for len(cov) > 0 {
+		cov = cov[copy(cov, onesBlock[:]):]
 	}
-	return buf, true
+}
+
+// complete reports whether the final-fragment length is known and coverage
+// is contiguous from 0 — the old assemble() success condition.
+func (b *bucket) complete() bool {
+	if b.totalLen < 0 || b.totalLen > len(b.buf) {
+		return false
+	}
+	return bytes.IndexByte(b.covered[:b.totalLen], 0) < 0
+}
+
+// growBytes extends s to length n. Bytes in the grown region are
+// unspecified (recycled buckets carry stale bytes); completeness guarantees
+// every read position was written this cycle.
+func growBytes(s []byte, n int) []byte {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return append(s, make([]byte, n-len(s))...)
+}
+
+// growBytes0 extends s to length n with the grown region zero. Recycled
+// coverage maps are cleared out to capacity, and append-growth zeroes
+// fresh backing arrays, so reslicing within capacity is already zero.
+func growBytes0(s []byte, n int) []byte {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return append(s, make([]byte, n-len(s))...)
 }

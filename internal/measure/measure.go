@@ -83,6 +83,8 @@ func RateLimitScan(specs []population.PoolServerSpec, cfg ScanConfig, seed int64
 		kod                   bool
 	}
 	states := make([]*state, len(specs))
+	ports := make([]uint16, len(specs))
+	var wire []byte // shared encode scratch; SendUDP copies before returning
 
 	for i, spec := range specs {
 		host, err := net.AddHost(spec.Addr, simnet.HostConfig{})
@@ -107,14 +109,15 @@ func RateLimitScan(specs []population.PoolServerSpec, cfg ScanConfig, seed int64
 		st := &state{}
 		states[i] = st
 		port := scanner.AllocPort()
+		ports[i] = port
 		srvAddr := spec.Addr
 		half := cfg.Queries / 2
 		if err := scanner.HandleUDP(port, func(src ipv4.Addr, _ uint16, payload []byte) {
 			if src != srvAddr {
 				return
 			}
-			pkt, err := ntpwire.Unmarshal(payload)
-			if err != nil {
+			var pkt ntpwire.Packet
+			if err := ntpwire.UnmarshalInto(&pkt, payload); err != nil {
 				return
 			}
 			if pkt.IsKoD() {
@@ -132,13 +135,29 @@ func RateLimitScan(specs []population.PoolServerSpec, cfg ScanConfig, seed int64
 		}); err != nil {
 			return RateLimitResult{}, err
 		}
-		for q := 0; q < cfg.Queries; q++ {
-			q := q
-			clk.Schedule(time.Duration(q)*cfg.Interval, func() {
-				pkt := ntpwire.NewClientPacket(clk.Now())
-				_, _ = scanner.SendUDP(srvAddr, port, ntpwire.Port, pkt.Marshal())
-			})
+	}
+
+	// All probes form one self-rescheduling round chain rather than
+	// Queries×Servers pre-scheduled events: each round sends to every
+	// server in registration order — exactly the interleaving per-server
+	// schedules would produce, since they would all fire at the same
+	// instants in that same order — while the pending-event heap holds one
+	// chain event instead of one per server. The probe bytes are identical
+	// across the round (same XmitTime), so the round shares one encode.
+	round := 0
+	var sendRound func()
+	sendRound = func() {
+		pkt := ntpwire.ClientPacket(clk.Now())
+		wire = pkt.AppendMarshal(wire[:0])
+		for i, spec := range specs {
+			_, _ = scanner.SendUDP(spec.Addr, ports[i], ntpwire.Port, wire)
 		}
+		if round++; round < cfg.Queries {
+			clk.After(cfg.Interval, sendRound)
+		}
+	}
+	if len(specs) > 0 && cfg.Queries > 0 {
+		clk.After(0, sendRound)
 	}
 
 	clk.RunFor(time.Duration(cfg.Queries)*cfg.Interval + 10*time.Second)
@@ -254,7 +273,7 @@ func CacheSnoop(specs []population.OpenResolverSpec) SnoopResult {
 		}
 		res.Verified++
 		for _, rec := range population.AllPoolRecords() {
-			if ttl, ok := r.Cached[rec]; ok {
+			if ttl, ok := r.CachedTTL(rec); ok {
 				counts[rec]++
 				if rec == population.RecPoolA {
 					res.TTLs = append(res.TTLs, float64(ttl))

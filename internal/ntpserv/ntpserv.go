@@ -89,30 +89,51 @@ type Server struct {
 	cfg   Config
 	state map[ipv4.Addr]*limiterState
 	stats Stats
+	wire  []byte // response encode scratch; SendUDP copies before returning
+}
+
+func (c *Config) applyDefaults() {
+	if c.Stratum == 0 {
+		c.Stratum = 2
+	}
+	if c.RefID == ([4]byte{}) {
+		c.RefID = [4]byte{127, 127, 1, 0}
+	}
+	if c.RateLimit.MinInterval == 0 {
+		c.RateLimit.MinInterval = 2 * time.Second
+	}
+	if c.RateLimit.Burst == 0 {
+		c.RateLimit.Burst = 12
+	}
+	if c.RateLimit.HoldDown == 0 {
+		c.RateLimit.HoldDown = 60 * time.Second
+	}
 }
 
 // New binds a server to UDP port 123 on host.
 func New(host *simnet.Host, cfg Config) (*Server, error) {
-	if cfg.Stratum == 0 {
-		cfg.Stratum = 2
-	}
-	if cfg.RefID == ([4]byte{}) {
-		cfg.RefID = [4]byte{127, 127, 1, 0}
-	}
-	if cfg.RateLimit.MinInterval == 0 {
-		cfg.RateLimit.MinInterval = 2 * time.Second
-	}
-	if cfg.RateLimit.Burst == 0 {
-		cfg.RateLimit.Burst = 12
-	}
-	if cfg.RateLimit.HoldDown == 0 {
-		cfg.RateLimit.HoldDown = 60 * time.Second
-	}
+	cfg.applyDefaults()
 	s := &Server{host: host, cfg: cfg, state: make(map[ipv4.Addr]*limiterState)}
 	if err := host.HandleUDP(ntpwire.Port, s.handle); err != nil {
 		return nil, fmt.Errorf("ntpserv: bind: %w", err)
 	}
 	return s, nil
+}
+
+// Reset re-binds the server to its (freshly host.Reset) host under a new
+// configuration, restoring the exact observable state New produces: empty
+// limiter table, zero stats, handler on port 123. The encode scratch and
+// the limiter map's storage are retained — that reuse is the point (the
+// lab pool resets a dozen servers per campaign seed).
+func (s *Server) Reset(cfg Config) error {
+	cfg.applyDefaults()
+	s.cfg = cfg
+	clear(s.state)
+	s.stats = Stats{}
+	if err := s.host.HandleUDP(ntpwire.Port, s.handle); err != nil {
+		return fmt.Errorf("ntpserv: bind: %w", err)
+	}
+	return nil
 }
 
 // Host returns the underlying host.
@@ -150,16 +171,17 @@ func (s *Server) handle(src ipv4.Addr, srcPort uint16, payload []byte) {
 		s.handleConfig(src, srcPort)
 		return
 	}
-	q, err := ntpwire.Unmarshal(payload)
-	if err != nil || q.Mode != ntpwire.ModeClient {
+	var q ntpwire.Packet
+	if err := ntpwire.UnmarshalInto(&q, payload); err != nil || q.Mode != ntpwire.ModeClient {
 		return
 	}
 	if s.cfg.RateLimit.Enabled && s.limit(src, srcPort) {
 		return
 	}
 	s.stats.Answered++
-	resp := ntpwire.NewServerPacket(q, s.now(), s.cfg.Stratum, s.cfg.RefID)
-	_, _ = s.host.SendUDP(src, ntpwire.Port, srcPort, resp.Marshal())
+	resp := ntpwire.ServerPacket(&q, s.now(), s.cfg.Stratum, s.cfg.RefID)
+	s.wire = resp.AppendMarshal(s.wire[:0])
+	_, _ = s.host.SendUDP(src, ntpwire.Port, srcPort, s.wire)
 }
 
 // limit applies the token-bucket rate limiter to a query from src; it

@@ -1,0 +1,38 @@
+package ntpwire
+
+import (
+	"testing"
+	"time"
+)
+
+// Committed allocation budgets for the NTP wire hot path: both directions
+// must stay allocation-free — every client poll and server response in a
+// campaign runs through exactly this pair.
+const (
+	allocBudgetEncode = 0 // Packet.AppendMarshal into a reused buffer
+	allocBudgetDecode = 0 // UnmarshalInto a reused Packet
+)
+
+func TestAllocBudgetEncodeDecode(t *testing.T) {
+	now := time.Date(2020, 2, 1, 0, 0, 0, 0, time.UTC)
+	q := ClientPacket(now)
+	wire := q.AppendMarshal(nil)
+
+	var buf []byte
+	encAvg := testing.AllocsPerRun(200, func() {
+		buf = q.AppendMarshal(buf[:0])
+	})
+	if encAvg > allocBudgetEncode {
+		t.Errorf("encode: %.1f allocs per AppendMarshal into reused buffer, budget %d", encAvg, allocBudgetEncode)
+	}
+
+	var rx Packet
+	decAvg := testing.AllocsPerRun(200, func() {
+		if err := UnmarshalInto(&rx, wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if decAvg > allocBudgetDecode {
+		t.Errorf("decode: %.1f allocs per UnmarshalInto, budget %d", decAvg, allocBudgetDecode)
+	}
+}

@@ -119,7 +119,16 @@ func (p *Packet) RefIDAddr() (ipv4.Addr, bool) {
 
 // Marshal encodes the packet to its 48-byte wire form.
 func (p *Packet) Marshal() []byte {
-	b := make([]byte, PacketLen)
+	return p.AppendMarshal(nil)
+}
+
+// AppendMarshal appends the packet's 48-byte wire form to dst and returns
+// the extended slice. Encoding into a caller-supplied buffer is the
+// allocation-free path servers and clients use per exchange.
+func (p *Packet) AppendMarshal(dst []byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, PacketLen)...)
+	b := dst[off : off+PacketLen]
 	b[0] = p.Leap<<6 | (p.Version&0x7)<<3 | uint8(p.Mode)&0x7
 	b[1] = p.Stratum
 	b[2] = byte(p.Poll)
@@ -131,15 +140,26 @@ func (p *Packet) Marshal() []byte {
 	binary.BigEndian.PutUint64(b[24:32], uint64(p.OrigTime))
 	binary.BigEndian.PutUint64(b[32:40], uint64(p.RecvTime))
 	binary.BigEndian.PutUint64(b[40:48], uint64(p.XmitTime))
-	return b
+	return dst
 }
 
 // Unmarshal decodes a 48-byte NTP packet.
 func Unmarshal(b []byte) (*Packet, error) {
-	if len(b) < PacketLen {
-		return nil, fmt.Errorf("%w: %d bytes", ErrShortPacket, len(b))
+	p := &Packet{}
+	if err := UnmarshalInto(p, b); err != nil {
+		return nil, err
 	}
-	p := &Packet{
+	return p, nil
+}
+
+// UnmarshalInto decodes a 48-byte NTP packet into p, overwriting every
+// field. Decoding into a caller-supplied (typically stack-allocated) Packet
+// is the allocation-free path the receive handlers use.
+func UnmarshalInto(p *Packet, b []byte) error {
+	if len(b) < PacketLen {
+		return fmt.Errorf("%w: %d bytes", ErrShortPacket, len(b))
+	}
+	*p = Packet{
 		Leap:      b[0] >> 6,
 		Version:   b[0] >> 3 & 0x7,
 		Mode:      Mode(b[0] & 0x7),
@@ -154,13 +174,20 @@ func Unmarshal(b []byte) (*Packet, error) {
 		XmitTime:  Timestamp(binary.BigEndian.Uint64(b[40:48])),
 	}
 	copy(p.RefID[:], b[12:16])
-	return p, nil
+	return nil
 }
 
 // NewClientPacket builds a mode-3 query with T1 = now (by the client's own
 // clock, which may be wrong — that is the point).
 func NewClientPacket(localNow time.Time) *Packet {
-	return &Packet{
+	p := ClientPacket(localNow)
+	return &p
+}
+
+// ClientPacket is NewClientPacket returning a value, for callers that keep
+// the packet on the stack in allocation-sensitive paths.
+func ClientPacket(localNow time.Time) Packet {
+	return Packet{
 		Leap:     LeapUnknown,
 		Version:  4,
 		Mode:     ModeClient,
@@ -172,7 +199,14 @@ func NewClientPacket(localNow time.Time) *Packet {
 // (possibly shifted) clock reading, used for both T2 and T3; refid is the
 // server's reference identifier.
 func NewServerPacket(query *Packet, serverNow time.Time, stratum uint8, refid [4]byte) *Packet {
-	return &Packet{
+	p := ServerPacket(query, serverNow, stratum, refid)
+	return &p
+}
+
+// ServerPacket is NewServerPacket returning by value, for callers that keep
+// the reply on the stack (the server hot path).
+func ServerPacket(query *Packet, serverNow time.Time, stratum uint8, refid [4]byte) Packet {
+	return Packet{
 		Leap:     LeapNone,
 		Version:  4,
 		Mode:     ModeServer,

@@ -201,17 +201,36 @@ func AllPoolRecords() []PoolRecord {
 	return []PoolRecord{RecPoolNS, RecPoolA, Rec0Pool, Rec1Pool, Rec2Pool, Rec3Pool}
 }
 
+// CachedRecord is one cached pool record with its remaining TTL (seconds).
+type CachedRecord struct {
+	Record PoolRecord
+	TTL    int
+}
+
 // OpenResolverSpec describes one open resolver.
 type OpenResolverSpec struct {
 	// Responds: the resolver answers external queries at all.
 	Responds bool
 	// RespectsRD: RD=0 is answered from cache only (snooping works).
 	RespectsRD bool
-	// Cached holds the remaining TTL (seconds) of each cached record;
-	// absence means not cached.
-	Cached map[PoolRecord]int
+	// Cached holds the cached records in draw order (Table IV order, then
+	// extras); absence means not cached. The per-resolver slices of one
+	// population share a single backing array — a population is drawn per
+	// campaign run, and per-resolver maps dominated the generator's
+	// allocation profile.
+	Cached []CachedRecord
 	// AcceptsFragments: fragmented DNS responses are accepted (31%).
 	AcceptsFragments bool
+}
+
+// CachedTTL returns the remaining TTL of rec and whether it is cached.
+func (s *OpenResolverSpec) CachedTTL(rec PoolRecord) (int, bool) {
+	for _, c := range s.Cached {
+		if c.Record == rec {
+			return c.TTL, true
+		}
+	}
+	return 0, false
 }
 
 // OpenResolverConfig parameterises the open-resolver population.
@@ -285,8 +304,23 @@ func GenerateOpenResolvers(cfg OpenResolverConfig, seed int64) []OpenResolverSpe
 		})
 	}
 
+	// Hoist the per-record probabilities out of the population loop: the
+	// map lookups otherwise dominate large draws (Total × records accesses).
+	probs := make([]float64, len(records))
+	for i, rec := range records {
+		probs[i] = cfg.PCached[rec]
+	}
+
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]OpenResolverSpec, cfg.Total)
+	// Chunked arena for the Cached slices: each resolver carves a sub-slice
+	// out of the current chunk, and an exhausted chunk is simply replaced —
+	// carved slices keep the old chunk alive, nothing is copied. Chunks keep
+	// allocation count (and GC pressure) orders of magnitude below one map
+	// per resolver without the worst-case footprint of a single backing
+	// array sized as if every record were cached everywhere.
+	chunkCap := 1024 * len(records)
+	chunk := make([]CachedRecord, 0, chunkCap)
 	for i := range out {
 		s := OpenResolverSpec{}
 		if rng.Float64() >= cfg.PResponds {
@@ -296,12 +330,16 @@ func GenerateOpenResolvers(cfg OpenResolverConfig, seed int64) []OpenResolverSpe
 		s.Responds = true
 		s.RespectsRD = rng.Float64() < cfg.PRespectsRD
 		s.AcceptsFragments = rng.Float64() < cfg.PAcceptsFragments
-		s.Cached = make(map[PoolRecord]int)
-		for _, rec := range records {
-			if rng.Float64() < cfg.PCached[rec] {
-				s.Cached[rec] = rng.Intn(cfg.RecordTTL + 1)
+		if len(chunk)+len(records) > cap(chunk) {
+			chunk = make([]CachedRecord, 0, chunkCap)
+		}
+		start := len(chunk)
+		for j, rec := range records {
+			if rng.Float64() < probs[j] {
+				chunk = append(chunk, CachedRecord{rec, rng.Intn(cfg.RecordTTL + 1)})
 			}
 		}
+		s.Cached = chunk[start:len(chunk):len(chunk)]
 		out[i] = s
 	}
 	return out
@@ -392,7 +430,11 @@ func DefaultAdStudyConfig() AdStudyConfig {
 // invalid results; the harness applies the paper's filtering).
 func GenerateAdClients(cfg AdStudyConfig, seed int64) []AdClientSpec {
 	rng := rand.New(rand.NewSource(seed))
-	var out []AdClientSpec
+	total := 0
+	for _, region := range AllRegions() {
+		total += cfg.Regions[region].Clients
+	}
+	out := make([]AdClientSpec, 0, total)
 	for _, region := range AllRegions() {
 		p := cfg.Regions[region]
 		for i := 0; i < p.Clients; i++ {

@@ -125,7 +125,7 @@ func TestGenerateOpenResolversTableIV(t *testing.T) {
 		responds++
 		if r.RespectsRD {
 			verified++
-			if _, ok := r.Cached[RecPoolA]; ok {
+			if _, ok := r.CachedTTL(RecPoolA); ok {
 				cachedA++
 			}
 		}
@@ -155,16 +155,16 @@ func TestGenerateOpenResolversDeterministic(t *testing.T) {
 			if len(a[i].Cached) != len(b[i].Cached) {
 				t.Fatalf("resolver %d differs between identical-seed draws", i)
 			}
-			for rec, ttl := range a[i].Cached {
-				if b[i].Cached[rec] != ttl {
-					t.Fatalf("resolver %d record %s differs between identical-seed draws", i, rec)
+			for _, c := range a[i].Cached {
+				if ttl, ok := b[i].CachedTTL(c.Record); !ok || ttl != c.TTL {
+					t.Fatalf("resolver %d record %s differs between identical-seed draws", i, c.Record)
 				}
 			}
 		}
 	}
 	for _, r := range a {
 		if r.Responds && r.RespectsRD {
-			if _, ok := r.Cached[extra]; !ok {
+			if _, ok := r.CachedTTL(extra); !ok {
 				t.Fatalf("custom PCached record %s dropped (p=1.0 must always cache it)", extra)
 			}
 			sawExtra = true
@@ -179,9 +179,9 @@ func TestOpenResolverTTLsWithinRange(t *testing.T) {
 	cfg := DefaultOpenResolverConfig()
 	cfg.Total = 20000
 	for _, r := range GenerateOpenResolvers(cfg, 2) {
-		for rec, ttl := range r.Cached {
-			if ttl < 0 || ttl > cfg.RecordTTL {
-				t.Fatalf("record %s TTL %d out of [0,%d]", rec, ttl, cfg.RecordTTL)
+		for _, c := range r.Cached {
+			if c.TTL < 0 || c.TTL > cfg.RecordTTL {
+				t.Fatalf("record %s TTL %d out of [0,%d]", c.Record, c.TTL, cfg.RecordTTL)
 			}
 		}
 	}

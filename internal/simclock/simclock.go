@@ -8,141 +8,222 @@
 // The scheduler is single-threaded by design: callbacks run inline on the
 // goroutine that drives the clock (Step, Run, RunFor, RunUntil) and must not
 // block. Callbacks may schedule further events, including events at the
-// current instant, which execute before time advances.
+// current instant, which execute before time advances. A Clock is NOT safe
+// for concurrent use — every simulation owns its clock from exactly one
+// goroutine, so the scheduler carries no locks on its hot path.
+//
+// The event queue is allocation-lean: fired and cancelled events return to
+// a per-clock free list, the heap orders events by pre-computed integer
+// nanosecond keys, and the After/AfterArg entry points schedule without
+// allocating a Timer handle — the campaign engine's packet-delivery hot
+// path schedules millions of events per second through them.
 package simclock
 
 import (
-	"container/heap"
-	"sync"
 	"time"
 )
 
 // Clock is a virtual time source and event scheduler. The zero value is not
 // usable; construct with New.
 type Clock struct {
-	mu     sync.Mutex
 	now    time.Time
-	events eventHeap
+	nowN   int64 // now.UnixNano(), the heap ordering key
+	events []heapNode
 	seq    uint64
+	arena  []event // every event slot this clock has ever allocated
+	free   []int32 // recycled arena slots (fired or cancelled events)
 }
 
 // New returns a Clock whose current time is start.
 func New(start time.Time) *Clock {
-	return &Clock{now: start}
+	return &Clock{now: start, nowN: start.UnixNano()}
+}
+
+// Reset drops every pending event and rewinds the clock to start, keeping
+// the allocated event-queue capacity. It is the lab pool's hard-reset hook:
+// a reset clock is indistinguishable from New(start) to every scheduler
+// client, while reusing the heap and free-list storage warmed up by the
+// previous run.
+func (c *Clock) Reset(start time.Time) {
+	for _, n := range c.events {
+		c.recycleEvent(n.idx)
+	}
+	c.events = c.events[:0]
+	c.seq = 0
+	c.now = start
+	c.nowN = start.UnixNano()
 }
 
 // Now returns the current virtual time.
-func (c *Clock) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
-}
+func (c *Clock) Now() time.Time { return c.now }
 
 // Len reports the number of pending (non-cancelled) events.
 func (c *Clock) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
-	for _, ev := range c.events {
-		if !ev.cancelled {
+	for _, node := range c.events {
+		if !c.arena[node.idx].cancelled {
 			n++
 		}
 	}
 	return n
 }
 
-// Timer is a handle to a scheduled event. Stop cancels it.
+// Timer is a handle to a scheduled event. Stop cancels it. The handle
+// addresses its event by arena slot, not pointer: the clock's event arena
+// may move as it grows, and slot indices stay valid across both growth and
+// recycling (the generation counter catches reuse).
 type Timer struct {
 	clock *Clock
-	ev    *event
+	idx   int32
+	gen   uint64
+	at    time.Time
 }
 
 // Stop cancels the timer. It reports whether the event was still pending
 // (i.e. had not fired and had not already been stopped).
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil {
+	if t == nil || t.clock == nil {
 		return false
 	}
-	t.clock.mu.Lock()
-	defer t.clock.mu.Unlock()
-	if t.ev.cancelled || t.ev.fired {
+	ev := &t.clock.arena[t.idx]
+	if ev.gen != t.gen || ev.cancelled || ev.fired {
 		return false
 	}
-	t.ev.cancelled = true
+	ev.cancelled = true
 	return true
 }
 
 // When returns the virtual time at which the timer fires.
-func (t *Timer) When() time.Time { return t.ev.at }
+func (t *Timer) When() time.Time { return t.at }
 
 // Schedule runs fn after delay d of virtual time. A non-positive delay
 // schedules fn at the current instant; it still runs through the event loop,
-// after any event currently executing returns.
+// after any event currently executing returns. Prefer After when the caller
+// never stops the event: it schedules without allocating a Timer.
 func (c *Clock) Schedule(d time.Duration, fn func()) *Timer {
-	if d < 0 {
-		d = 0
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.scheduleLocked(c.now.Add(d), fn)
+	idx := c.scheduleEvent(d, fn, nil, nil)
+	ev := &c.arena[idx]
+	return &Timer{clock: c, idx: idx, gen: ev.gen, at: ev.at}
+}
+
+// ScheduleInto arms the caller-owned Timer t to run fn after delay d,
+// overwriting whatever t previously held (the caller stops any prior
+// pending arm itself). Pooled objects embed a Timer value and re-arm
+// through here without allocating a handle per schedule.
+func (c *Clock) ScheduleInto(t *Timer, d time.Duration, fn func()) {
+	idx := c.scheduleEvent(d, fn, nil, nil)
+	ev := &c.arena[idx]
+	*t = Timer{clock: c, idx: idx, gen: ev.gen, at: ev.at}
 }
 
 // ScheduleAt runs fn at virtual time t. Times in the past are clamped to the
 // current instant.
 func (c *Clock) ScheduleAt(t time.Time, fn func()) *Timer {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if t.Before(c.now) {
-		t = c.now
-	}
-	return c.scheduleLocked(t, fn)
+	d := t.Sub(c.now)
+	idx := c.scheduleEvent(d, fn, nil, nil)
+	ev := &c.arena[idx]
+	return &Timer{clock: c, idx: idx, gen: ev.gen, at: ev.at}
 }
 
-func (c *Clock) scheduleLocked(at time.Time, fn func()) *Timer {
-	ev := &event{at: at, seq: c.seq, fn: fn}
+// After runs fn after delay d of virtual time, like Schedule, but returns no
+// Timer handle: fire-and-forget events schedule with zero allocations once
+// the clock's event free list is warm.
+func (c *Clock) After(d time.Duration, fn func()) {
+	c.scheduleEvent(d, fn, nil, nil)
+}
+
+// AfterArg runs fn(arg) after delay d of virtual time. Passing the state as
+// an argument instead of closing over it lets hot paths (packet delivery)
+// schedule with a static fn and a pooled arg — no closure allocation.
+func (c *Clock) AfterArg(d time.Duration, fn func(any), arg any) {
+	c.scheduleEvent(d, nil, fn, arg)
+}
+
+// scheduleEvent enqueues an event d from now in a recycled arena slot (or a
+// freshly grown one) and returns its index. Negative delays clamp to the
+// current instant.
+func (c *Clock) scheduleEvent(d time.Duration, fn func(), argFn func(any), arg any) int32 {
+	if d < 0 {
+		d = 0
+	}
+	var idx int32
+	if n := len(c.free); n > 0 {
+		idx = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		c.arena = append(c.arena, event{})
+		idx = int32(len(c.arena) - 1)
+	}
+	ev := &c.arena[idx]
+	ev.at = c.now.Add(d)
+	ev.atN = c.nowN + int64(d)
+	ev.seq = c.seq
+	ev.fn = fn
+	ev.argFn = argFn
+	ev.arg = arg
+	ev.cancelled = false
+	ev.fired = false
 	c.seq++
-	heap.Push(&c.events, ev)
-	return &Timer{clock: c, ev: ev}
+	c.heapPush(ev.atN, ev.seq, idx)
+	return idx
+}
+
+// recycleEvent returns a popped event slot to the free list, invalidating
+// any outstanding Timer handles via the generation counter.
+func (c *Clock) recycleEvent(idx int32) {
+	ev := &c.arena[idx]
+	ev.gen++
+	ev.fn = nil
+	ev.argFn = nil
+	ev.arg = nil
+	c.free = append(c.free, idx)
 }
 
 // Ticker repeatedly schedules a callback at a fixed virtual interval until
-// stopped.
+// stopped. Like the Clock that owns it, a Ticker is confined to the
+// simulation's goroutine, so re-arming carries no lock.
 type Ticker struct {
 	clock    *Clock
 	interval time.Duration
 	fn       func()
-	mu       sync.Mutex
-	timer    *Timer
+	run      func()
+	idx      int32
+	gen      uint64
+	armed    bool
 	stopped  bool
 }
 
 // Tick schedules fn to run every interval of virtual time, with the first
-// run one interval from now. Stop the returned Ticker to cancel.
+// run one interval from now. Stop the returned Ticker to cancel. Re-arming
+// reuses one closure and the clock's event free list, so a long-lived
+// ticker allocates nothing per tick.
 func (c *Clock) Tick(interval time.Duration, fn func()) *Ticker {
 	t := &Ticker{clock: c, interval: interval, fn: fn}
+	t.run = func() {
+		t.fn()
+		t.arm()
+	}
 	t.arm()
 	return t
 }
 
 func (t *Ticker) arm() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.stopped {
 		return
 	}
-	t.timer = t.clock.Schedule(t.interval, func() {
-		t.fn()
-		t.arm()
-	})
+	idx := t.clock.scheduleEvent(t.interval, t.run, nil, nil)
+	t.idx, t.gen, t.armed = idx, t.clock.arena[idx].gen, true
 }
 
 // Stop cancels the ticker; no further callbacks run.
 func (t *Ticker) Stop() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.stopped = true
-	if t.timer != nil {
-		t.timer.Stop()
+	if !t.armed {
+		return
+	}
+	ev := &t.clock.arena[t.idx]
+	if ev.gen == t.gen && !ev.cancelled && !ev.fired {
+		ev.cancelled = true
 	}
 }
 
@@ -150,24 +231,25 @@ func (t *Ticker) Stop() {
 // timestamp. It reports whether an event was executed.
 func (c *Clock) Step() bool {
 	for {
-		c.mu.Lock()
-		if c.events.Len() == 0 {
-			c.mu.Unlock()
+		if len(c.events) == 0 {
 			return false
 		}
-		ev, ok := heap.Pop(&c.events).(*event)
-		if !ok {
-			c.mu.Unlock()
-			return false
-		}
+		idx := c.heapPopMin()
+		ev := &c.arena[idx]
 		if ev.cancelled {
-			c.mu.Unlock()
+			c.recycleEvent(idx)
 			continue
 		}
 		ev.fired = true
 		c.now = ev.at
-		c.mu.Unlock()
-		ev.fn()
+		c.nowN = ev.atN
+		fn, argFn, arg := ev.fn, ev.argFn, ev.arg
+		c.recycleEvent(idx)
+		if fn != nil {
+			fn()
+		} else if argFn != nil {
+			argFn(arg)
+		}
 		return true
 	}
 }
@@ -188,16 +270,15 @@ func (c *Clock) RunFor(d time.Duration) {
 // RunUntil executes every event with timestamp ≤ deadline and then sets the
 // clock to deadline.
 func (c *Clock) RunUntil(deadline time.Time) {
+	deadlineN := deadline.UnixNano()
 	for {
-		c.mu.Lock()
-		if c.events.Len() == 0 || c.events[0].at.After(deadline) {
+		if len(c.events) == 0 || c.events[0].atN > deadlineN {
 			if c.now.Before(deadline) {
 				c.now = deadline
+				c.nowN = deadlineN
 			}
-			c.mu.Unlock()
 			return
 		}
-		c.mu.Unlock()
 		c.Step()
 	}
 }
@@ -216,40 +297,94 @@ func (c *Clock) RunWhile(cond func() bool) bool {
 
 type event struct {
 	at        time.Time
+	atN       int64 // at.UnixNano(), the heap comparison key
 	seq       uint64
+	gen       uint64 // bumped on recycle; stale Timer handles no-op
 	fn        func()
+	argFn     func(any)
+	arg       any
 	cancelled bool
 	fired     bool
 }
 
-// eventHeap orders events by (timestamp, insertion sequence), which gives
-// deterministic FIFO behaviour for simultaneous events.
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at.Equal(h[j].at) {
-		return h[i].seq < h[j].seq
-	}
-	return h[i].at.Before(h[j].at)
+// heapNode is one entry of the clock's priority queue. The ordering key
+// (timestamp nanoseconds, insertion sequence) is stored inline so heap
+// comparisons never dereference the event — the queue regularly holds tens
+// of thousands of pending events during flood scenarios, and pointer-chasing
+// comparisons dominated the campaign CPU profile. The event itself is
+// addressed by arena slot: a pointer-free node means sift moves in push/pop
+// skip the GC write barrier and the garbage collector never scans the heap
+// array at all.
+type heapNode struct {
+	atN int64
+	seq uint64
+	idx int32
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return
+// less orders nodes by (timestamp, insertion sequence): deterministic FIFO
+// behaviour for simultaneous events. (atN, seq) is a strict total order, so
+// the popped minimum — and therefore execution order — is unique regardless
+// of the heap's internal arrangement.
+func (a heapNode) less(b heapNode) bool {
+	if a.atN != b.atN {
+		return a.atN < b.atN
 	}
-	*h = append(*h, ev)
+	return a.seq < b.seq
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+// heapPush inserts an event into the 4-ary min-heap. A 4-ary layout halves
+// the tree depth of a binary heap and keeps sibling comparisons within one
+// or two cache lines of the node array.
+func (c *Clock) heapPush(atN int64, seq uint64, idx int32) {
+	n := heapNode{atN: atN, seq: seq, idx: idx}
+	h := append(c.events, n)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if h[p].less(n) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = n
+	c.events = h
+}
+
+// heapPopMin removes and returns the arena slot of the earliest event. The
+// caller must have checked len(c.events) > 0.
+func (c *Clock) heapPopMin() int32 {
+	h := c.events
+	ev := h[0].idx
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	c.events = h
+	if n == 0 {
+		return ev
+	}
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		m := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for j := first + 1; j < end; j++ {
+			if h[j].less(h[m]) {
+				m = j
+			}
+		}
+		if !h[m].less(last) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = last
 	return ev
 }

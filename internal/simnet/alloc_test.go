@@ -1,0 +1,48 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"dnstime/internal/ipv4"
+)
+
+// allocBudgetRoundTrip is the committed budget for one UDP request/response
+// round trip between two warm hosts: send, deliver, reply, deliver. The
+// packet free list, the clock's event arena and the delivery-argument pool
+// make the steady state allocation-free.
+const allocBudgetRoundTrip = 0
+
+func TestAllocBudgetPacketRoundTrip(t *testing.T) {
+	n, a, b := twoHosts(t)
+	if err := b.HandleUDP(53, func(src ipv4.Addr, srcPort uint16, p []byte) {
+		if _, err := b.SendUDP(src, 53, srcPort, p); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	if err := a.HandleUDP(4444, func(ipv4.Addr, uint16, []byte) { got++ }); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("query")
+	clk := n.Clock()
+	roundTrip := func() {
+		if _, err := a.SendUDP(addrB, 4444, 53, payload); err != nil {
+			t.Fatal(err)
+		}
+		clk.RunFor(time.Second)
+	}
+	// Warm the free lists before measuring.
+	for i := 0; i < 8; i++ {
+		roundTrip()
+	}
+	avg := testing.AllocsPerRun(200, roundTrip)
+	if avg > allocBudgetRoundTrip {
+		t.Errorf("%.1f allocs per warm packet round trip, budget %d", avg, allocBudgetRoundTrip)
+	}
+	if got == 0 {
+		t.Fatal("no responses delivered")
+	}
+}

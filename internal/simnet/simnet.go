@@ -75,12 +75,22 @@ func (e TraceEvent) String() string {
 }
 
 // Network is the simulated internetwork.
+//
+// Delivery is allocation-lean: in-flight packets and their delivery events
+// come from per-network free lists (the network is driven by one
+// single-threaded clock, so the lists need no locking) and are recycled as
+// soon as the receiving host's handlers return. Consequently UDP handlers,
+// raw observers and trace callbacks must not retain the packets or payload
+// slices they are given beyond the call — copy what must outlive it.
 type Network struct {
 	clock *simclock.Clock
 	hosts map[ipv4.Addr]*Host
 	path  netem.PathModel
 	rng   *rand.Rand
 	trace func(TraceEvent)
+
+	pktFree []*ipv4.Packet
+	delFree []*delivery
 }
 
 // Option configures a Network.
@@ -106,7 +116,7 @@ func WithPathModel(m netem.PathModel) Option {
 // independent of campaign worker count. The default seed is 1, the value
 // the pre-netem network hard-coded.
 func WithSeed(seed int64) Option {
-	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+	return func(n *Network) { n.rng.Seed(seed) }
 }
 
 // WithLatency sets a fixed uniform one-way latency for all links. Thin
@@ -157,7 +167,9 @@ func editPath(edit func(*netem.Path)) Option {
 	}
 }
 
-// WithTrace installs a packet-trace callback.
+// WithTrace installs a packet-trace callback. Traced packets may be pooled
+// and recycled after the surrounding processing step: callbacks must not
+// retain the event's Pkt or its payload (format or copy what they need).
 func WithTrace(f func(TraceEvent)) Option {
 	return func(n *Network) { n.trace = f }
 }
@@ -184,6 +196,79 @@ func (n *Network) Clock() *simclock.Clock { return n.clock }
 // Host returns the host with the given address, or nil.
 func (n *Network) Host(a ipv4.Addr) *Host { return n.hosts[a] }
 
+// RemoveHost detaches the host at addr (no-op when absent). Packets already
+// in flight toward it are dropped on delivery. The lab pool removes
+// run-scoped hosts (clients, surplus servers) when resetting a lab.
+func (n *Network) RemoveHost(addr ipv4.Addr) { delete(n.hosts, addr) }
+
+// Reset restores the network's link behaviour to the New defaults — fresh
+// default path model, RNG seed 1, no trace — then applies opts, keeping
+// the attached hosts and the packet free lists. Together with Host.Reset it
+// gives the lab pool a network indistinguishable from a freshly built one.
+func (n *Network) Reset(opts ...Option) {
+	n.path = &netem.Path{}
+	n.rng.Seed(1)
+	n.trace = nil
+	for _, o := range opts {
+		o(n)
+	}
+}
+
+// getPacket takes a packet from the free list (payload length zero,
+// capacity retained) or allocates one.
+func (n *Network) getPacket() *ipv4.Packet {
+	if l := len(n.pktFree); l > 0 {
+		p := n.pktFree[l-1]
+		n.pktFree[l-1] = nil
+		n.pktFree = n.pktFree[:l-1]
+		return p
+	}
+	return &ipv4.Packet{}
+}
+
+// putPacket recycles a packet whose bytes are no longer referenced.
+func (n *Network) putPacket(p *ipv4.Packet) {
+	p.Payload = p.Payload[:0]
+	n.pktFree = append(n.pktFree, p)
+}
+
+// delivery is one in-flight packet: the scheduled argument of deliverFn,
+// pooled so the per-packet hot path allocates neither closure nor event.
+type delivery struct {
+	net *Network
+	dst *Host
+	pkt *ipv4.Packet
+}
+
+// deliverFn is the static delivery callback; the argument carries state.
+func deliverFn(a any) {
+	d, ok := a.(*delivery)
+	if !ok {
+		return
+	}
+	n := d.net
+	n.emit(TraceDeliver, d.pkt)
+	d.dst.receive(d.pkt)
+	n.putPacket(d.pkt)
+	d.dst, d.pkt = nil, nil
+	n.delFree = append(n.delFree, d)
+}
+
+// scheduleDelivery queues an owned packet for delivery to dst after the
+// path latency, recycling pooled delivery state.
+func (n *Network) scheduleDelivery(after time.Duration, dst *Host, pkt *ipv4.Packet) {
+	var d *delivery
+	if l := len(n.delFree); l > 0 {
+		d = n.delFree[l-1]
+		n.delFree[l-1] = nil
+		n.delFree = n.delFree[:l-1]
+	} else {
+		d = &delivery{net: n}
+	}
+	d.dst, d.pkt = dst, pkt
+	n.clock.AfterArg(after, deliverFn, d)
+}
+
 func (n *Network) emit(kind TraceKind, pkt *ipv4.Packet) {
 	if n.trace != nil {
 		n.trace(TraceEvent{Time: n.clock.Now(), Kind: kind, Pkt: pkt})
@@ -193,7 +278,9 @@ func (n *Network) emit(kind TraceKind, pkt *ipv4.Packet) {
 // Inject delivers a raw IPv4 packet into the network exactly as written —
 // the off-path attacker's spoofing primitive. The packet's Src may be any
 // address; delivery is to Dst, after the path model's latency, subject to
-// its loss model.
+// its loss model. The packet is copied on entry, so the caller may reuse or
+// mutate it immediately (attack planting loops re-inject the same spoofed
+// fragments every round).
 func (n *Network) Inject(pkt *ipv4.Packet) {
 	n.emit(TraceSend, pkt)
 	if n.path.Drop(pkt.Src, pkt.Dst, n.rng) {
@@ -206,14 +293,35 @@ func (n *Network) Inject(pkt *ipv4.Packet) {
 		return
 	}
 	d := n.path.Latency(pkt.Src, pkt.Dst, n.rng)
-	p := pkt.Clone()
-	n.clock.Schedule(d, func() {
-		n.emit(TraceDeliver, p)
-		dst.receive(p)
-	})
+	p := n.getPacket()
+	p.CopyFrom(pkt)
+	n.scheduleDelivery(d, dst, p)
 }
 
-// UDPHandler processes a reassembled, checksum-verified UDP payload.
+// injectOwned is Inject for packets the network already owns (taken from
+// getPacket): no copy is made, and the packet returns to the free list on
+// drop as well as after delivery. Host send paths build datagrams directly
+// into pooled packets and hand them over here.
+func (n *Network) injectOwned(pkt *ipv4.Packet) {
+	n.emit(TraceSend, pkt)
+	if n.path.Drop(pkt.Src, pkt.Dst, n.rng) {
+		n.emit(TraceDrop, pkt)
+		n.putPacket(pkt)
+		return
+	}
+	dst, ok := n.hosts[pkt.Dst]
+	if !ok {
+		n.emit(TraceDrop, pkt)
+		n.putPacket(pkt)
+		return
+	}
+	d := n.path.Latency(pkt.Src, pkt.Dst, n.rng)
+	n.scheduleDelivery(d, dst, pkt)
+}
+
+// UDPHandler processes a reassembled, checksum-verified UDP payload. The
+// payload slice aliases a pooled packet buffer and is only valid for the
+// duration of the call — handlers that keep bytes must copy them.
 type UDPHandler func(src ipv4.Addr, srcPort uint16, payload []byte)
 
 // ICMPHandler observes ICMP Fragmentation Needed messages after the host's
@@ -304,6 +412,39 @@ func (n *Network) MustAddHost(addr ipv4.Addr, cfg HostConfig) *Host {
 	return h
 }
 
+// Reset restores the host to the state AddHost would have built with cfg —
+// empty reassembly and PMTU caches, fresh IPID allocator, no UDP/ICMP
+// handlers or raw observer, ephemeral ports rewound, stats zeroed — while
+// keeping warmed-up cache storage. The lab pool resets every kept host
+// before re-binding its protocol servers; callers must only invoke it when
+// no packets are in flight toward the host (the pool resets the clock
+// first, which drops them all).
+func (h *Host) Reset(cfg HostConfig) {
+	if cfg.Reassembly == (ipv4.ReassemblyPolicy{}) {
+		cfg.Reassembly = ipv4.LinuxPolicy
+	}
+	if cfg.IDAlloc == nil {
+		cfg.IDAlloc = &ipv4.SequentialAllocator{}
+	}
+	if cfg.PMTUFloor == 0 {
+		cfg.PMTUFloor = ipv4.MinMTU
+	}
+	if cfg.LinkMTU == 0 {
+		cfg.LinkMTU = ipv4.DefaultMTU
+	}
+	h.reasm.Reset(cfg.Reassembly)
+	h.pmtu.Reset(cfg.PMTUFloor)
+	h.ids = cfg.IDAlloc
+	h.linkMTU = cfg.LinkMTU
+	h.verify = !cfg.DisableChecksum
+	h.dropFrag = cfg.DropFragments
+	clear(h.udp)
+	h.icmp = nil
+	h.rawObs = nil
+	h.nextPort = 49152
+	h.SentPackets, h.ReceivedPackets, h.ChecksumErrors = 0, 0, 0
+}
+
 // Addr returns the host's address.
 func (h *Host) Addr() ipv4.Addr { return h.addr }
 
@@ -356,7 +497,36 @@ func (h *Host) AllocPort() uint16 {
 // SendUDP builds a checksummed UDP datagram, wraps it in IPv4 packets
 // fragmented to the current path MTU, and sends them. It returns the IPID
 // used (visible to on-host observers; the attacker predicts it instead).
+//
+// When the datagram fits the path MTU whole — the overwhelmingly common
+// case — the wire bytes are built and checksummed directly inside a pooled
+// packet and handed to the network with no intermediate copies.
 func (h *Host) SendUDP(dst ipv4.Addr, srcPort, dstPort uint16, payload []byte) (uint16, error) {
+	mtu := h.PathMTU(dst)
+	total := udp.HeaderLen + len(payload)
+	if mtu >= ipv4.MinMTU && ipv4.HeaderLen+total <= mtu {
+		id := h.ids.Next(h.addr, dst)
+		p := h.net.getPacket()
+		wire := p.Payload[:0]
+		if cap(wire) < total {
+			wire = make([]byte, 0, total)
+		}
+		wire = wire[:total]
+		udp.PutHeader(wire, srcPort, dstPort, total)
+		copy(wire[udp.HeaderLen:], payload)
+		udp.FillChecksum(h.addr, dst, wire)
+		*p = ipv4.Packet{
+			Src:     h.addr,
+			Dst:     dst,
+			ID:      id,
+			Proto:   ipv4.ProtoUDP,
+			TTL:     ipv4.DefaultTTL,
+			Payload: wire,
+		}
+		h.SentPackets++
+		h.net.injectOwned(p)
+		return id, nil
+	}
 	d := &udp.Datagram{
 		Header:  udp.Header{SrcPort: srcPort, DstPort: dstPort},
 		Payload: payload,
@@ -370,7 +540,7 @@ func (h *Host) SendUDP(dst ipv4.Addr, srcPort, dstPort uint16, payload []byte) (
 		TTL:     ipv4.DefaultTTL,
 		Payload: wire,
 	}
-	frags, err := ipv4.Fragment(pkt, h.PathMTU(dst))
+	frags, err := ipv4.Fragment(pkt, mtu)
 	if err != nil {
 		return 0, fmt.Errorf("send udp %s -> %s: %w", h.addr, dst, err)
 	}
@@ -443,7 +613,8 @@ func (h *Host) SendICMPFragNeeded(dst ipv4.Addr, msg *ipv4.ICMPFragNeeded) {
 // ObserveRaw installs an observer that sees every packet delivered to this
 // host — IP header included — before protocol processing. The attacker uses
 // this to read the IPIDs of responses to its own probe queries (the IPID
-// prediction step of Section III-2).
+// prediction step of Section III-2). The packet is pooled and recycled
+// after processing: observers must not retain it or its payload.
 func (h *Host) ObserveRaw(fn func(*ipv4.Packet)) { h.rawObs = fn }
 
 // receive processes one delivered packet.
@@ -488,6 +659,9 @@ func (h *Host) receiveUDP(pkt *ipv4.Packet) {
 	}
 	if pkt.IsFragment() {
 		h.net.emit(TraceReassembled, whole)
+		// The reassembled packet and its buffer are network-private: recycle
+		// them once the handler returns, like delivered packets.
+		defer h.net.putPacket(whole)
 	}
 	if h.verify {
 		if err := udp.Verify(whole.Src, whole.Dst, whole.Payload); err != nil {
@@ -496,13 +670,15 @@ func (h *Host) receiveUDP(pkt *ipv4.Packet) {
 			return
 		}
 	}
-	d, err := udp.Unmarshal(whole.Payload)
+	hdr, payload, err := udp.Parse(whole.Payload)
 	if err != nil {
 		return
 	}
-	fn, ok := h.udp[d.Header.DstPort]
+	fn, ok := h.udp[hdr.DstPort]
 	if !ok {
 		return
 	}
-	fn(whole.Src, d.Header.SrcPort, d.Payload)
+	// The payload aliases the (pooled) packet buffer: handlers must not
+	// retain it after returning (see the Network doc comment).
+	fn(whole.Src, hdr.SrcPort, payload)
 }
