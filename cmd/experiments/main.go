@@ -9,14 +9,19 @@
 //	experiments campaigns [-seeds N] [-workers M] [-json] [-fast] [-only boot,table4,...]
 //	experiments campaigns -only boot [-param client=chrony] [-checkpoint f.jsonl] [-resume f.jsonl]
 //	experiments scenarios [-markdown]
+//	experiments serve [-addr HOST:PORT] [-workers M] [-queue N] [-state DIR] [-rate R -burst B] [-pprof]
 //	experiments bench [-seeds N] [-fast] [-o BENCH_5.json]
 //	experiments bench -compare BENCH_4.json [-in BENCH_5.json] [-tolerance 0.15] [-drift-only]
 //
 // The default (no subcommand) is the original single-seed paper
 // reproduction; -fast skips the slowest experiments (Table II's four full
-// run-time attacks and the 2432-server rate-limit scan). The campaigns
-// subcommand fans each selected scenario out across -seeds independent
-// seeds on -workers workers (default GOMAXPROCS) through the campaign
+// run-time attacks and the 2432-server rate-limit scan). The serve
+// subcommand keeps the whole machinery resident behind an HTTP API —
+// queued campaigns, streamed JSONL results, a content-addressed aggregate
+// cache and graceful drain (DESIGN.md §11).
+//
+// The campaigns subcommand fans each selected scenario out across -seeds
+// independent seeds on -workers workers (default GOMAXPROCS) through the campaign
 // Engine and prints aggregate statistics; output is identical at any
 // worker count. Parameterisable scenarios take `-param key=value`
 // overrides (`-client` is shorthand for `-param client=...`); with
@@ -71,6 +76,19 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "scenarios" {
 		if err := runScenarios(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments scenarios:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		// SIGINT/SIGTERM trigger the graceful drain: submissions refused,
+		// the running campaign checkpointed for resumption, streams
+		// terminated with their partial aggregates.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		err := runServe(ctx, os.Args[2:], os.Stdout)
+		stop()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments serve:", err)
 			os.Exit(1)
 		}
 		return

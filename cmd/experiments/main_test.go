@@ -220,9 +220,9 @@ func TestReadmeCommandsParse(t *testing.T) {
 	for _, cmd := range cmds {
 		args := strings.Fields(cmd)
 		switch args[0] {
-		case "git", "cd", "ntpattack", "ntpscan", "resolverscan":
-			// Other binaries (and setup lines) are out of this checker's
-			// scope.
+		case "git", "cd", "ntpattack", "ntpscan", "resolverscan", "curl", "kill":
+			// Other binaries (and setup lines, like the serve walkthrough's
+			// curl session) are out of this checker's scope.
 		case "go":
 			if len(args) >= 3 && args[1] == "run" && strings.HasSuffix(args[2], "cmd/experiments") {
 				sawExperiments = true
@@ -264,6 +264,9 @@ func checkExperimentsCommand(t *testing.T, cmd string, args []string) {
 	case len(args) > 0 && args[0] == "scenarios":
 		var markdown bool
 		err = quietly(scenariosFlagSet(&markdown)).Parse(args[1:])
+	case len(args) > 0 && args[0] == "serve":
+		var cfg serveConfig
+		err = quietly(serveFlagSet(&cfg)).Parse(args[1:])
 	case len(args) > 0 && args[0] == "bench":
 		var cfg benchConfig
 		err = quietly(benchFlagSet(&cfg)).Parse(args[1:])

@@ -40,6 +40,7 @@ import (
 	"dnstime/internal/ntpclient"
 	"dnstime/internal/population"
 	"dnstime/internal/scenario"
+	"dnstime/internal/serve"
 )
 
 // Lab types: the wired attack laboratory.
@@ -382,4 +383,31 @@ var (
 	GenerateSharedResolvers       = population.GenerateSharedResolvers
 	DefaultSharedResolverConfig   = population.DefaultSharedResolverConfig
 	DefaultTimingProbeConfig      = population.DefaultTimingProbeConfig
+)
+
+// Resident experiment service (DESIGN.md §11): a long-running HTTP API
+// over the campaign Engine with a bounded job queue, streamed per-seed
+// results, a content-addressed aggregate cache, per-client rate limiting
+// and graceful drain (`experiments serve`).
+type (
+	// ExperimentServer is a resident experiment service instance.
+	ExperimentServer = serve.Server
+	// ExperimentServerConfig sizes a resident experiment service.
+	ExperimentServerConfig = serve.Config
+	// ExperimentRateLimiter is the service's per-client token bucket.
+	ExperimentRateLimiter = serve.Limiter
+	// CampaignJobSpec is one submitted campaign: scenario, params, seed
+	// range and fast flag, with a canonical content-addressed Key.
+	CampaignJobSpec = campaign.JobSpec
+)
+
+// Service constructors.
+var (
+	// NewExperimentServer builds a resident experiment service and starts
+	// its dispatcher; mount Handler on an http.Server and drain with
+	// Shutdown.
+	NewExperimentServer = serve.New
+	// NewExperimentRateLimiter builds a per-client token-bucket limiter
+	// with an injectable clock.
+	NewExperimentRateLimiter = serve.NewLimiter
 )

@@ -134,10 +134,10 @@ func NewEngine(opts ...Option) *Engine {
 func (e *Engine) resolved() engineConfig {
 	c := e.cfg
 	if c.seeds <= 0 {
-		c.seeds = 16
+		c.seeds = DefaultSeeds
 	}
 	if !c.baseSeedSet {
-		c.baseSeed = 1
+		c.baseSeed = DefaultBaseSeed
 	}
 	if c.workers <= 0 {
 		c.workers = runtime.GOMAXPROCS(0)

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"sync"
+
+	"dnstime/internal/campaign"
+)
+
+// defaultCacheCap bounds the aggregate cache when Config.CacheCap is
+// unset: entries are small (an aggregate without per-run results is a few
+// KB; per-run results scale with the seed count), so 256 completed
+// campaigns comfortably cover a dashboard's working set.
+const defaultCacheCap = 256
+
+// cache maps a campaign's canonical content address (campaign.JobSpec
+// .Key) to its completed aggregate. Only complete aggregates enter —
+// partial (cancelled) and failed campaigns never populate the cache — so
+// a hit can be served as if the Engine had just run: the stored PerRun
+// results replay the JSONL stream and the stripped aggregate is
+// byte-identical to a fresh campaign's. Eviction is FIFO by insertion
+// order once cap is exceeded.
+type cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]campaign.ScenarioAggregate
+	order   []string
+}
+
+// newCache builds a cache holding at most cap aggregates (<= 0 selects
+// defaultCacheCap).
+func newCache(cap int) *cache {
+	if cap <= 0 {
+		cap = defaultCacheCap
+	}
+	return &cache{cap: cap, entries: map[string]campaign.ScenarioAggregate{}}
+}
+
+// get returns the cached aggregate for key, if any.
+func (c *cache) get(key string) (campaign.ScenarioAggregate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	agg, ok := c.entries[key]
+	return agg, ok
+}
+
+// put stores a completed aggregate under key, evicting the oldest entry
+// beyond capacity. Re-putting an existing key refreshes nothing: the
+// first complete aggregate for a key is definitive (equal keys are
+// byte-identical campaigns by construction).
+func (c *cache) put(key string, agg campaign.ScenarioAggregate) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	c.entries[key] = agg
+	c.order = append(c.order, key)
+	for len(c.order) > c.cap {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// len reports the number of cached aggregates.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

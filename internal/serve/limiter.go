@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// limiterMaxClients bounds the per-client bucket map: when exceeded, the
+// next Allow sweeps out every bucket that has refilled to full burst
+// (idle clients), so an address-spraying client cannot grow the map
+// without bound while active clients keep their state.
+const limiterMaxClients = 4096
+
+// Limiter is a token-bucket rate limiter with one bucket per client key.
+// Each bucket holds up to burst tokens and refills continuously at rate
+// tokens per second; Allow spends one token. The clock is injected so
+// tests drive refill deterministically, with no wall-clock sleeps. A nil
+// Limiter, or one built with rate <= 0, allows everything.
+type Limiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+// bucket is one client's token state: the balance as of the last refill.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter builds a Limiter refilling rate tokens per second up to
+// burst per client. now supplies the clock (nil = time.Now). rate <= 0
+// disables limiting; burst < 1 is raised to 1 so a conforming client is
+// never starved outright.
+func NewLimiter(rate float64, burst int, now func() time.Time) *Limiter {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &Limiter{rate: rate, burst: b, now: now, buckets: map[string]*bucket{}}
+}
+
+// Allow reports whether client may proceed, spending one of its tokens
+// if so. Buckets start full, so a new client gets its whole burst
+// immediately; isolation is per key — one client exhausting its bucket
+// never affects another's.
+func (l *Limiter) Allow(client string) bool {
+	if l == nil || l.rate <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[client]
+	if !ok {
+		if len(l.buckets) >= limiterMaxClients {
+			l.sweep(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	l.refill(b, now)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// refill credits a bucket for the time elapsed since its last update,
+// capping at the burst size.
+func (l *Limiter) refill(b *bucket, now time.Time) {
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = now
+}
+
+// sweep drops every bucket that has refilled to full burst — clients
+// idle long enough to have regained all their tokens lose nothing by
+// being forgotten, since a fresh bucket starts full anyway.
+func (l *Limiter) sweep(now time.Time) {
+	for key, b := range l.buckets {
+		l.refill(b, now)
+		if b.tokens >= l.burst {
+			delete(l.buckets, key)
+		}
+	}
+}

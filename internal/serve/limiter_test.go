@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestLimiterBurstAndRefill: a fresh client spends its whole burst, is
+// then refused, and regains exactly one admission per 1/rate seconds of
+// fake-clock time. No wall-clock sleeps anywhere.
+func TestLimiterBurstAndRefill(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(2, 3, clk.now) // 2 tokens/sec, burst 3
+
+	for i := 0; i < 3; i++ {
+		if !l.Allow("c") {
+			t.Fatalf("burst admission %d refused", i)
+		}
+	}
+	if l.Allow("c") {
+		t.Fatal("admission beyond burst allowed")
+	}
+
+	clk.advance(250 * time.Millisecond) // +0.5 tokens: still short of 1
+	if l.Allow("c") {
+		t.Fatal("allowed with a fractional token")
+	}
+	clk.advance(250 * time.Millisecond) // balance reaches 1
+	if !l.Allow("c") {
+		t.Fatal("refused after refilling one full token")
+	}
+	if l.Allow("c") {
+		t.Fatal("token spent twice")
+	}
+}
+
+// TestLimiterCapsAtBurst: however long a client idles, its balance never
+// exceeds the burst.
+func TestLimiterCapsAtBurst(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(10, 2, clk.now)
+	l.Allow("c")
+	clk.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if !l.Allow("c") {
+			t.Fatalf("admission %d refused after long idle", i)
+		}
+	}
+	if l.Allow("c") {
+		t.Fatal("idle time accumulated beyond burst")
+	}
+}
+
+// TestLimiterPerClientIsolation: one client exhausting its bucket leaves
+// every other client's untouched.
+func TestLimiterPerClientIsolation(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(1, 1, clk.now)
+	if !l.Allow("greedy") {
+		t.Fatal("first admission refused")
+	}
+	if l.Allow("greedy") {
+		t.Fatal("exhausted client admitted")
+	}
+	if !l.Allow("other") {
+		t.Fatal("an exhausted neighbour starved a fresh client")
+	}
+}
+
+// TestLimiterDisabled: nil limiters and non-positive rates admit
+// everything.
+func TestLimiterDisabled(t *testing.T) {
+	var nilLimiter *Limiter
+	zero := NewLimiter(0, 5, newFakeClock().now)
+	for i := 0; i < 100; i++ {
+		if !nilLimiter.Allow("c") || !zero.Allow("c") {
+			t.Fatal("disabled limiter refused an admission")
+		}
+	}
+}
+
+// TestLimiterMinimumBurst: burst < 1 is raised to 1 so a conforming
+// client is never starved outright.
+func TestLimiterMinimumBurst(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(1, 0, clk.now)
+	if !l.Allow("c") {
+		t.Fatal("zero-burst limiter refused the first admission")
+	}
+	if l.Allow("c") {
+		t.Fatal("zero-burst limiter admitted twice in one instant")
+	}
+}
+
+// TestLimiterSweep: once the client map hits its cap, fully-refilled idle
+// buckets are swept so active clients keep their (partial) state while
+// the map stops growing without bound.
+func TestLimiterSweep(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(1, 2, clk.now)
+	for i := 0; i < limiterMaxClients; i++ {
+		l.Allow(fmt.Sprintf("idle%d", i)) // each idle bucket: 1 of 2 tokens left
+	}
+	l.Allow("active")        // map at cap; sweep finds nothing full yet
+	l.Allow("active")        // active bucket fully depleted
+	clk.advance(time.Second) // idles refill to full burst; active only to 1
+
+	l.Allow("fresh") // at cap again: this admission sweeps the full buckets
+	l.mu.Lock()
+	n := len(l.buckets)
+	_, activeKept := l.buckets["active"]
+	l.mu.Unlock()
+	if n != 2 || !activeKept {
+		t.Errorf("sweep left %d buckets (active kept: %t), want exactly active+fresh", n, activeKept)
+	}
+}

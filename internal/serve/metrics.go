@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics aggregates the service's operational counters. All updates go
+// through methods holding mu; snapshot derives the rates. Wall-clock
+// readings come from the injected clock so tests stay deterministic.
+type metrics struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	start time.Time
+
+	submissions  int64
+	rateLimited  int64
+	queueFull    int64
+	coalesced    int64
+	cacheHits    int64
+	cacheMisses  int64
+	jobsQueued   int64 // gauge
+	jobsRunning  int64 // gauge
+	jobsDone     int64
+	jobsFailed   int64
+	jobsCanceled int64
+
+	engineCampaigns int64
+	executedRuns    int64
+	resumedRuns     int64
+	busySeconds     float64
+
+	scenarios map[string]*scenarioStats
+}
+
+// scenarioStats accumulates per-scenario job latency and throughput.
+type scenarioStats struct {
+	jobs    int64
+	runs    int64
+	seconds float64
+}
+
+// newMetrics starts the counter set at the injected clock's current time.
+func newMetrics(now func() time.Time) *metrics {
+	return &metrics{now: now, start: now(), scenarios: map[string]*scenarioStats{}}
+}
+
+// metricsSnapshot is the /metrics JSON document. Field order is fixed by
+// the struct, map keys marshal sorted, so the document is byte-stable for
+// a given counter state.
+type metricsSnapshot struct {
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Jobs          jobCounters      `json:"jobs"`
+	Cache         cacheCounters    `json:"cache"`
+	Engine        engineCounters   `json:"engine"`
+	Scenarios     []scenarioMetric `json:"scenarios,omitempty"`
+}
+
+// jobCounters reports the queue and job-lifecycle counters.
+type jobCounters struct {
+	Queued      int64 `json:"queued"`
+	Running     int64 `json:"running"`
+	Done        int64 `json:"done"`
+	Failed      int64 `json:"failed"`
+	Canceled    int64 `json:"canceled"`
+	Submissions int64 `json:"submissions"`
+	Coalesced   int64 `json:"coalesced"`
+	RateLimited int64 `json:"rate_limited"`
+	QueueFull   int64 `json:"queue_full"`
+}
+
+// cacheCounters reports aggregate-cache effectiveness.
+type cacheCounters struct {
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	HitRatePct float64 `json:"hit_rate_pct"`
+	Entries    int     `json:"entries"`
+}
+
+// engineCounters reports Engine-level work: campaigns started, seeds
+// actually executed vs reused from checkpoints, and throughput over the
+// time the dispatcher was busy.
+type engineCounters struct {
+	Campaigns    int64   `json:"campaigns"`
+	ExecutedRuns int64   `json:"executed_runs"`
+	ResumedRuns  int64   `json:"resumed_runs"`
+	BusySeconds  float64 `json:"busy_seconds"`
+	RunsPerSec   float64 `json:"runs_per_sec"`
+}
+
+// scenarioMetric is one scenario's latency/throughput row, sorted by
+// name in the snapshot.
+type scenarioMetric struct {
+	Scenario      string  `json:"scenario"`
+	Jobs          int64   `json:"jobs"`
+	Runs          int64   `json:"runs"`
+	Seconds       float64 `json:"seconds"`
+	AvgJobSeconds float64 `json:"avg_job_seconds"`
+	RunsPerSec    float64 `json:"runs_per_sec"`
+}
+
+// snapshot freezes the counters into the /metrics document. cacheEntries
+// is supplied by the cache, which owns its own lock.
+func (m *metrics) snapshot(cacheEntries int) metricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := metricsSnapshot{
+		UptimeSeconds: m.now().Sub(m.start).Seconds(),
+		Jobs: jobCounters{
+			Queued: m.jobsQueued, Running: m.jobsRunning,
+			Done: m.jobsDone, Failed: m.jobsFailed, Canceled: m.jobsCanceled,
+			Submissions: m.submissions, Coalesced: m.coalesced,
+			RateLimited: m.rateLimited, QueueFull: m.queueFull,
+		},
+		Cache: cacheCounters{
+			Hits: m.cacheHits, Misses: m.cacheMisses, Entries: cacheEntries,
+		},
+		Engine: engineCounters{
+			Campaigns: m.engineCampaigns, ExecutedRuns: m.executedRuns,
+			ResumedRuns: m.resumedRuns, BusySeconds: m.busySeconds,
+		},
+	}
+	if lookups := m.cacheHits + m.cacheMisses; lookups > 0 {
+		s.Cache.HitRatePct = 100 * float64(m.cacheHits) / float64(lookups)
+	}
+	if m.busySeconds > 0 {
+		s.Engine.RunsPerSec = float64(m.executedRuns) / m.busySeconds
+	}
+	names := make([]string, 0, len(m.scenarios))
+	for name := range m.scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := m.scenarios[name]
+		row := scenarioMetric{Scenario: name, Jobs: st.jobs, Runs: st.runs, Seconds: st.seconds}
+		if st.jobs > 0 {
+			row.AvgJobSeconds = st.seconds / float64(st.jobs)
+		}
+		if st.seconds > 0 {
+			row.RunsPerSec = float64(st.runs) / st.seconds
+		}
+		s.Scenarios = append(s.Scenarios, row)
+	}
+	return s
+}
+
+// locked runs fn holding the counter lock.
+func (m *metrics) locked(fn func(*metrics)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fn(m)
+}
+
+// jobFinished folds one executed campaign into the engine and
+// per-scenario counters. executed counts seeds actually run (not
+// resumed), resumed the checkpoint-reused seeds, seconds the job's wall
+// time on the dispatcher.
+func (m *metrics) jobFinished(scenarioName string, executed, resumed int64, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.executedRuns += executed
+	m.resumedRuns += resumed
+	m.busySeconds += seconds
+	st := m.scenarios[scenarioName]
+	if st == nil {
+		st = &scenarioStats{}
+		m.scenarios[scenarioName] = st
+	}
+	st.jobs++
+	st.runs += executed
+	st.seconds += seconds
+}
