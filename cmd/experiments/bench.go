@@ -10,12 +10,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"dnstime"
+	"dnstime/internal/obs"
 )
 
 // benchEntry is one scenario's campaign benchmark result: throughput plus
@@ -33,6 +35,11 @@ type benchEntry struct {
 	SuccessRatePct *float64 `json:"success_rate_pct,omitempty"`
 	// MetricMeans holds every aggregate metric mean, keyed by name.
 	MetricMeans map[string]float64 `json:"metric_means,omitempty"`
+	// PhaseSeconds breaks the campaign's engine time down by execution
+	// phase (setup/reset/run/fold, summed across workers — the run phase
+	// exceeds Seconds whenever workers overlap). The baseline comparator
+	// checks only the fields above, so older baselines stay compatible.
+	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
 }
 
 // benchWorkersRow is one whole-registry timing at an alternative worker
@@ -79,6 +86,8 @@ type benchConfig struct {
 	in          string
 	tolerance   float64
 	driftOnly   bool
+	cpuprofile  string
+	memprofile  string
 }
 
 // benchFlagSet declares the bench flag surface (the README command
@@ -96,6 +105,8 @@ func benchFlagSet(cfg *benchConfig) *flag.FlagSet {
 	fs.StringVar(&cfg.in, "in", "", "compare this JSON document instead of running the benchmarks (needs -compare)")
 	fs.Float64Var(&cfg.tolerance, "tolerance", 0.15, "allowed fractional runs/sec regression against -compare")
 	fs.BoolVar(&cfg.driftOnly, "drift-only", false, "with -compare: check only deterministic headline-metric drift, not runs/sec (for cross-machine gates)")
+	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the benchmark runs to this file (go tool pprof)")
+	fs.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile taken after the benchmark runs to this file")
 	return fs
 }
 
@@ -145,6 +156,34 @@ func runBench(ctx context.Context, argv []string, w io.Writer) error {
 	if cfg.gogc > 0 {
 		debug.SetGCPercent(cfg.gogc)
 	}
+	if cfg.cpuprofile != "" {
+		f, err := os.Create(cfg.cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if cfg.memprofile != "" {
+		defer func() {
+			f, err := os.Create(cfg.memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench -memprofile:", err)
+			}
+		}()
+	}
 
 	doc := benchDoc{
 		Seeds:      cfg.seeds,
@@ -164,12 +203,14 @@ func runBench(ctx context.Context, argv []string, w io.Writer) error {
 			dnstime.WithWorkers(cfg.workers),
 			dnstime.WithFast(cfg.fast),
 		)
+		phasesBefore := obs.PhaseSnapshot()
 		campaignStart := time.Now()
 		agg, err := eng.Run(ctx, name)
 		if err != nil {
 			return fmt.Errorf("bench %s: %w", name, err)
 		}
 		elapsed := time.Since(campaignStart).Seconds()
+		phases := phaseDelta(phasesBefore, obs.PhaseSnapshot())
 		entry := benchEntry{
 			Scenario:   name,
 			Runs:       agg.Runs,
@@ -187,6 +228,7 @@ func runBench(ctx context.Context, argv []string, w io.Writer) error {
 				entry.MetricMeans[m.Name] = m.Mean
 			}
 		}
+		entry.PhaseSeconds = phases
 		doc.Scenarios = append(doc.Scenarios, entry)
 		totalRuns += agg.Runs
 		fmt.Fprintf(os.Stderr, "bench %-16s %3d runs in %6.2fs (%.1f runs/sec)\n",
@@ -232,6 +274,22 @@ func runBench(ctx context.Context, argv []string, w io.Writer) error {
 		return compareAgainstBaseline(doc, cfg, subset, w)
 	}
 	return nil
+}
+
+// phaseDelta subtracts two obs.PhaseSnapshot readings, keeping only the
+// phases that accumulated time in between — one campaign's share of the
+// process-wide phase counters.
+func phaseDelta(before, after map[string]float64) map[string]float64 {
+	var delta map[string]float64
+	for phase, v := range after {
+		if d := v - before[phase]; d > 0 {
+			if delta == nil {
+				delta = map[string]float64{}
+			}
+			delta[phase] = d
+		}
+	}
+	return delta
 }
 
 // parseWorkersRows parses the -workers-rows comma list into worker counts.

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunBenchProfiles exercises the profiling flags: -cpuprofile and
+// -memprofile write non-empty pprof files, and the bench document's
+// entries carry the phase-timing breakdown.
+func TestRunBenchProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	out := filepath.Join(dir, "bench.json")
+	err := runBench(context.Background(), []string{
+		"-seeds", "2", "-fast", "-only", "boot",
+		"-cpuprofile", cpu, "-memprofile", mem, "-o", out,
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("runBench with profiles: %v", err)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bench document does not parse: %v", err)
+	}
+	if len(doc.Scenarios) != 1 {
+		t.Fatalf("%d scenario entries, want 1", len(doc.Scenarios))
+	}
+	phases := doc.Scenarios[0].PhaseSeconds
+	if phases["run"] <= 0 {
+		t.Errorf("phase_seconds missing run phase: %v", phases)
+	}
+	for phase := range phases {
+		switch phase {
+		case "setup", "reset", "run", "fold":
+		default:
+			t.Errorf("unknown phase %q in %v", phase, phases)
+		}
+	}
+}
+
+// TestRunCampaignsTrace exercises the -trace flag end to end: one valid
+// Chrome trace file appears per seed.
+func TestRunCampaignsTrace(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "traces")
+	err := runCampaigns(context.Background(), []string{
+		"-seeds", "2", "-seed", "0", "-only", "boot", "-fast", "-q", "-trace", dir,
+	}, io.Discard)
+	if err != nil {
+		t.Fatalf("runCampaigns -trace: %v", err)
+	}
+	for _, name := range []string{"boot-seed0.trace.json", "boot-seed1.trace.json"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("trace file: %v", err)
+		}
+		var events []map[string]any
+		if err := json.Unmarshal(b, &events); err != nil {
+			t.Fatalf("%s does not parse as a trace array: %v", name, err)
+		}
+		if len(events) == 0 {
+			t.Errorf("%s has no events", name)
+		}
+		var cats []string
+		for _, e := range events {
+			cats = append(cats, e["cat"].(string))
+		}
+		joined := strings.Join(cats, ",")
+		for _, cat := range []string{"net", "clock", "run"} {
+			if !strings.Contains(joined, cat) {
+				t.Errorf("%s records no %q events", name, cat)
+			}
+		}
+	}
+}

@@ -291,6 +291,12 @@ var (
 	WithCheckpoint = campaign.WithCheckpoint
 	// WithResume skips seeds already recorded in a checkpoint file.
 	WithResume = campaign.WithResume
+	// WithTraceDir writes one deterministic Chrome trace_event file per
+	// executed seed (viewable in Perfetto) into a directory.
+	WithTraceDir = campaign.WithTraceDir
+	// WithTracerFactory installs a per-seed tracer source (see
+	// internal/obs for the tracing contract).
+	WithTracerFactory = campaign.WithTracerFactory
 )
 
 // Campaign runners.

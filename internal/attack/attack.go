@@ -23,11 +23,13 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"dnstime/internal/dnswire"
 	"dnstime/internal/ipv4"
 	"dnstime/internal/ntpwire"
+	"dnstime/internal/obs"
 	"dnstime/internal/simclock"
 	"dnstime/internal/simnet"
 	"dnstime/internal/udp"
@@ -47,6 +49,7 @@ type Attacker struct {
 	net   *simnet.Network
 	clock *simclock.Clock
 	rng   *rand.Rand
+	tr    obs.Tracer // phase-event tracer; obs.Nop (or nil, for the zero value) is off
 
 	// InjectedPackets counts spoofed packets sent (attack volume).
 	InjectedPackets int
@@ -75,8 +78,24 @@ func New(host *simnet.Host, seed int64) *Attacker {
 		net:   host.Network(),
 		clock: host.Clock(),
 		rng:   rand.New(rand.NewSource(seed)),
+		tr:    obs.Nop,
 	}
 }
+
+// SetTracer installs the tracer receiving the attacker's phase events
+// (ICMP forcing, template fetches, IPID probes, floods), stamped with
+// virtual time. nil disables. The lab installs it on every build and
+// pool reset; tracing is observation only and never changes behaviour.
+func (a *Attacker) SetTracer(tr obs.Tracer) {
+	if tr == nil {
+		tr = obs.Nop
+	}
+	a.tr = tr
+}
+
+// traceOn reports whether phase events should be emitted (guards the
+// detail-string formatting; the zero-value Attacker has a nil tracer).
+func (a *Attacker) traceOn() bool { return a.tr != nil && a.tr.Enabled() }
 
 // Reset restores the attacker to the observable state New(host, seed)
 // produces: fresh RNG stream, zero packet counter. All fragment-building
@@ -103,6 +122,10 @@ func (a *Attacker) Inject(pkt *ipv4.Packet) {
 // sender is an arbitrary "router" address — real stacks do not authenticate
 // it.
 func (a *Attacker) ForceFragmentation(ns, victim ipv4.Addr, mtu int) {
+	if a.traceOn() {
+		a.tr.Event(a.clock.Now(), "attack", "force-frag",
+			"ns="+ns.String()+" victim="+victim.String()+" mtu="+strconv.Itoa(mtu))
+	}
 	msg := &ipv4.ICMPFragNeeded{
 		NextHopMTU: uint16(mtu),
 		OrigSrc:    ns,
@@ -125,6 +148,7 @@ func (a *Attacker) ForceFragmentation(ns, victim ipv4.Addr, mtu int) {
 // `spacing`, observing the IPIDs of the responses. done receives the
 // observed IPIDs in order.
 func (a *Attacker) ProbeIPIDs(ns ipv4.Addr, probeName string, n int, spacing time.Duration, done func([]uint16, error)) {
+	probeStart := a.clock.Now()
 	var ids []uint16
 	prevObs := swapRawObserver(a.host, func(pkt *ipv4.Packet) {
 		if pkt.Src == ns && pkt.Proto == ipv4.ProtoUDP && !pkt.IsFragment() {
@@ -152,6 +176,10 @@ func (a *Attacker) ProbeIPIDs(ns ipv4.Addr, probeName string, n int, spacing tim
 	a.clock.Schedule(time.Duration(n)*spacing+2*time.Second, func() {
 		a.host.UnhandleUDP(port)
 		a.host.ObserveRaw(prevObs)
+		if a.traceOn() {
+			a.tr.Span(probeStart, a.clock.Now(), "attack", "probe-ipids",
+				"answered="+strconv.Itoa(len(ids)))
+		}
 		if len(ids) == 0 {
 			done(nil, ErrNoProbes)
 			return
@@ -260,6 +288,10 @@ func (a *Attacker) BuildSpoofedFragments(plan PoisonPlan) ([]*ipv4.Packet, error
 	}
 	if err := udp.FixSum(realF2, spoofF2, slack); err != nil {
 		return nil, fmt.Errorf("attack: %w", err)
+	}
+	if a.traceOn() {
+		a.tr.Event(a.clock.Now(), "attack", "build-frags",
+			"candidates="+strconv.Itoa(len(plan.IPIDs))+" cut="+strconv.Itoa(cut))
 	}
 
 	if cap(a.fragPkts) < len(plan.IPIDs) {
@@ -395,6 +427,9 @@ func (pl *PlantLoop) Stop() { pl.ticker.Stop() }
 // whenever the resolver is open, and standing in for the "other systems
 // sharing the resolver" (Email, web) trigger of §IV-A(2).
 func (a *Attacker) TriggerOpenResolverQuery(resolver ipv4.Addr, name string) {
+	if a.traceOn() {
+		a.tr.Event(a.clock.Now(), "attack", "trigger-query", name)
+	}
 	q := dnswire.NewQuery(uint16(a.rng.Intn(1<<16)), name, dnswire.TypeA, true)
 	wire, err := q.Marshal()
 	if err != nil {
@@ -411,6 +446,7 @@ func (a *Attacker) TriggerOpenResolverQuery(resolver ipv4.Addr, name string) {
 // payload to done — the attacker's way of learning the response template
 // whose second fragment it will later replace.
 func (a *Attacker) FetchTemplate(ns ipv4.Addr, name string, done func([]byte, error)) {
+	fetchStart := a.clock.Now()
 	port := a.host.AllocPort()
 	var timer *simclock.Timer
 	if err := a.host.HandleUDP(port, func(src ipv4.Addr, _ uint16, payload []byte) {
@@ -419,6 +455,10 @@ func (a *Attacker) FetchTemplate(ns ipv4.Addr, name string, done func([]byte, er
 		}
 		timer.Stop()
 		a.host.UnhandleUDP(port)
+		if a.traceOn() {
+			a.tr.Span(fetchStart, a.clock.Now(), "attack", "fetch-template",
+				"bytes="+strconv.Itoa(len(payload)))
+		}
 		// The handler's payload aliases a pooled packet buffer, so done gets
 		// a copy — made in the attacker's reused template buffer, which stays
 		// valid until the attacker's next FetchTemplate (a planting round
@@ -431,6 +471,9 @@ func (a *Attacker) FetchTemplate(ns ipv4.Addr, name string, done func([]byte, er
 	}
 	timer = a.clock.Schedule(3*time.Second, func() {
 		a.host.UnhandleUDP(port)
+		if a.traceOn() {
+			a.tr.Span(fetchStart, a.clock.Now(), "attack", "fetch-template", "timeout")
+		}
 		done(nil, fmt.Errorf("attack: template fetch timed out"))
 	})
 	q := dnswire.NewQuery(uint16(a.rng.Intn(1<<16)), name, dnswire.TypeA, false)
@@ -452,6 +495,10 @@ func (a *Attacker) FetchTemplate(ns ipv4.Addr, name string, done func([]byte, er
 // toward server: an initial burst to trip the limiter, then periodic
 // re-pokes that keep the hold-down armed. Returns a stop function.
 func (a *Attacker) RateLimitFlood(server, victim ipv4.Addr, repoke time.Duration) func() {
+	if a.traceOn() {
+		a.tr.Event(a.clock.Now(), "attack", "flood-start",
+			"server="+server.String()+" victim="+victim.String())
+	}
 	// The spoofed query bytes never change across the flood: build the
 	// checksummed wire form once and re-inject it (Inject copies on entry).
 	payload := ntpwire.NewClientPacket(a.clock.Now()).Marshal()
@@ -474,6 +521,9 @@ func (a *Attacker) RateLimitFlood(server, victim ipv4.Addr, repoke time.Duration
 // mode 3) and extracts its current sync source from the response RefID —
 // the P2 discovery technique.
 func (a *Attacker) DiscoverUpstreamViaRefID(victim ipv4.Addr, done func(ipv4.Addr, error)) {
+	if a.traceOn() {
+		a.tr.Event(a.clock.Now(), "attack", "refid-probe", "victim="+victim.String())
+	}
 	port := a.host.AllocPort()
 	var timer *simclock.Timer
 	if err := a.host.HandleUDP(port, func(src ipv4.Addr, _ uint16, payload []byte) {

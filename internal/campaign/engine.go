@@ -4,11 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
+	"dnstime/internal/obs"
 	"dnstime/internal/scenario"
 )
 
@@ -29,7 +34,17 @@ type engineConfig struct {
 	progress    func(done, total int)
 	checkpoint  string
 	resume      string
+	traceDir    string
+	tracerFor   func(seed int64) (obs.Tracer, error)
 }
+
+// seedSeconds is the per-scenario seed execution latency histogram every
+// Engine feeds (obs.Default; exposed on the serve /metrics Prometheus
+// view). It measures wall-clock run time only — virtual time and campaign
+// output are unaffected by observation.
+var seedSeconds = obs.Default.HistogramVec("dnstime_engine_seed_seconds",
+	"Wall-clock seconds spent executing one campaign seed, by scenario.",
+	"scenario", obs.DurationBuckets)
 
 // WithSeeds sets the number of independent seeds (default 16). Run i uses
 // seed BaseSeed+i.
@@ -93,6 +108,27 @@ func WithProgress(fn func(done, total int)) Option {
 // campaign the header describes.
 func WithCheckpoint(path string) Option {
 	return func(c *engineConfig) { c.checkpoint = path }
+}
+
+// WithTraceDir makes every executed seed record a deterministic Chrome
+// trace_event file (viewable in Perfetto or chrome://tracing) named
+// <scenario>-seed<N>.trace.json under dir, which is created if missing.
+// Trace timestamps are virtual (simclock) time, so a seed's trace bytes
+// are identical at any worker count, pooled or fresh lab. Resumed seeds
+// are not re-executed and produce no trace. Ignored when a
+// WithTracerFactory is also installed.
+func WithTraceDir(dir string) Option {
+	return func(c *engineConfig) { c.traceDir = dir }
+}
+
+// WithTracerFactory installs a per-seed tracer source: the factory is
+// called once per executed seed and the returned tracer observes that
+// seed's run (scenario.Config.Tracer). A tracer that implements io.Closer
+// is closed when its run completes. A factory or Close error fails that
+// seed's run — the trace was requested, so a seed that cannot record one
+// did not complete as asked. Takes precedence over WithTraceDir.
+func WithTracerFactory(fn func(seed int64) (obs.Tracer, error)) Option {
+	return func(c *engineConfig) { c.tracerFor = fn }
 }
 
 // WithResume skips every seed already recorded in the checkpoint at path:
@@ -171,6 +207,21 @@ func (e *Engine) Stream(ctx context.Context, scenarioName string) (*Stream, erro
 	cfg := e.resolved()
 	if err := sc.AcceptsParams(cfg.params); err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	tracerFor := cfg.tracerFor
+	if tracerFor == nil && cfg.traceDir != "" {
+		if err := os.MkdirAll(cfg.traceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("campaign: trace dir: %w", err)
+		}
+		dir, name := cfg.traceDir, sc.Name
+		tracerFor = func(seed int64) (obs.Tracer, error) {
+			f, err := os.Create(filepath.Join(dir,
+				fmt.Sprintf("%s-seed%d.trace.json", name, seed)))
+			if err != nil {
+				return nil, err
+			}
+			return &fileTracer{TraceWriter: obs.NewChrome(f, seed), f: f}, nil
+		}
 	}
 
 	resumed := map[int64]scenario.Result{}
@@ -254,7 +305,8 @@ func (e *Engine) Stream(ctx context.Context, scenarioName string) (*Stream, erro
 						continue // drain remaining seeds without running them
 					}
 					seed := cfg.baseSeed + int64(i)
-					res, err := sc.Run(ctx, seed, scenario.Config{Fast: cfg.fast, Params: cfg.params})
+					res, err := runSeed(ctx, sc, seed,
+						scenario.Config{Fast: cfg.fast, Params: cfg.params}, tracerFor)
 					if err != nil {
 						if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 							continue // cancelled mid-run: not a completed seed
@@ -287,7 +339,9 @@ func (e *Engine) Stream(ctx context.Context, scenarioName string) (*Stream, erro
 				results = append(results, *r)
 			}
 		}
+		foldStart := time.Now()
 		st.agg = foldScenario(sc, results)
+		obs.ObservePhase(obs.PhaseFold, time.Since(foldStart))
 		if len(results) < cfg.seeds {
 			st.agg.Partial = true
 			st.err = ctx.Err()
@@ -310,6 +364,52 @@ func (e *Engine) Stream(ctx context.Context, scenarioName string) (*Stream, erro
 		close(st.done)
 	}()
 	return st, nil
+}
+
+// runSeed executes one seed: it materialises the per-seed tracer (when
+// tracing is on), runs the scenario with it, closes the tracer, and feeds
+// the obs run-phase and seed-latency instrumentation. Tracer creation or
+// Close failures fail the run.
+func runSeed(ctx context.Context, sc scenario.Scenario, seed int64, cfg scenario.Config, tracerFor func(seed int64) (obs.Tracer, error)) (scenario.Result, error) {
+	var closeTracer io.Closer
+	if tracerFor != nil {
+		tr, err := tracerFor(seed)
+		if err != nil {
+			return scenario.Result{}, fmt.Errorf("campaign: tracer for seed %d: %w", seed, err)
+		}
+		cfg.Tracer = tr
+		if c, ok := tr.(io.Closer); ok {
+			closeTracer = c
+		}
+	}
+	start := time.Now()
+	res, err := sc.Run(ctx, seed, cfg)
+	d := time.Since(start)
+	obs.ObservePhase(obs.PhaseRun, d)
+	seedSeconds.With(sc.Name).Observe(d.Seconds())
+	if closeTracer != nil {
+		if cerr := closeTracer.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("campaign: trace for seed %d: %w", seed, cerr)
+		}
+	}
+	return res, err
+}
+
+// fileTracer is the WithTraceDir tracer: a Chrome TraceWriter over an
+// owned file, whose Close finalises the trace array and then the file.
+type fileTracer struct {
+	*obs.TraceWriter
+	f *os.File
+}
+
+// Close terminates the trace and closes the backing file, reporting the
+// first error.
+func (t *fileTracer) Close() error {
+	err := t.TraceWriter.Close()
+	if cerr := t.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Stream is one running campaign: a channel of per-seed Results in

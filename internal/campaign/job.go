@@ -23,8 +23,9 @@ const (
 )
 
 // jobKeyVersion is baked into every JobSpec.Key so the content address
-// changes if the canonical layout ever does.
-const jobKeyVersion = 1
+// changes if the canonical layout ever does. Version 2 added the Trace
+// flag to the key document.
+const jobKeyVersion = 2
 
 // JobSpec is the job-level wrapping of the Engine: the declarative
 // identity of one campaign — which scenario, at which params, over which
@@ -49,6 +50,13 @@ type JobSpec struct {
 	BaseSeed *int64 `json:"base_seed,omitempty"`
 	// Fast shrinks the slowest scenarios' populations (WithFast).
 	Fast bool `json:"fast,omitempty"`
+	// Trace requests a per-seed execution trace alongside the aggregate.
+	// Tracing never changes campaign output, but a traced job carries a
+	// deliverable an untraced one lacks, so Trace is part of the job's
+	// identity (Key) and traced jobs bypass the aggregate cache. The spec
+	// does not carry the tracer itself — the execution layer supplies one
+	// (WithTracerFactory / WithTraceDir).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Normalize validates the spec against the scenario registry and resolves
@@ -111,8 +119,9 @@ func (s JobSpec) Key() (string, error) {
 		BaseSeed int64           `json:"base_seed"`
 		Seeds    int             `json:"seeds"`
 		Fast     bool            `json:"fast"`
+		Trace    bool            `json:"trace"`
 		Params   scenario.Params `json:"params,omitempty"`
-	}{jobKeyVersion, n.Scenario, *n.BaseSeed, n.Seeds, n.Fast, n.Params}
+	}{jobKeyVersion, n.Scenario, *n.BaseSeed, n.Seeds, n.Fast, n.Trace, n.Params}
 	b, err := json.Marshal(doc)
 	if err != nil {
 		return "", fmt.Errorf("campaign: job key: %w", err)

@@ -42,10 +42,14 @@ func RunBootTimeAttack(prof ntpclient.Profile, cfg LabConfig) (BootTimeResult, e
 		return BootTimeResult{}, err
 	}
 	defer releaseLab(lab)
+	tr := lab.tracer()
 	res := BootTimeResult{Profile: prof.Name}
+	poisonStart := lab.Clock.Now()
 	if err := lab.PoisonResolver(86400); err != nil {
+		tr.Span(poisonStart, lab.Clock.Now(), "run", "poison", "failed")
 		return res, err
 	}
+	tr.Span(poisonStart, lab.Clock.Now(), "run", "poison", "ok")
 	res.Poisoned = true
 
 	client, err := lab.NewClient(prof, 0)
@@ -62,8 +66,17 @@ func RunBootTimeAttack(prof ntpclient.Profile, cfg LabConfig) (BootTimeResult, e
 	res.Shifted = ok
 	res.ClockOffset = client.ClockOffset()
 	res.TimeToShift = d
-	_ = bootAt
+	tr.Span(bootAt, lab.Clock.Now(), "run", "boot-wait", traceOutcome(ok))
 	return res, nil
+}
+
+// traceOutcome renders a success flag for span details without
+// allocating.
+func traceOutcome(ok bool) string {
+	if ok {
+		return "shifted"
+	}
+	return "not-shifted"
 }
 
 // ---------------------------------------------------------------------------
@@ -112,12 +125,14 @@ func RunRuntimeAttack(prof ntpclient.Profile, scenario RuntimeScenario, cfg LabC
 		return RuntimeResult{}, err
 	}
 	defer releaseLab(lab)
+	tr := lab.tracer()
 	res := RuntimeResult{Profile: prof.Name, Scenario: scenario}
 
 	client, err := lab.NewClient(prof, 30*time.Second)
 	if err != nil {
 		return res, err
 	}
+	syncStart := lab.Clock.Now()
 	if err := client.Start(); err != nil {
 		return res, err
 	}
@@ -125,10 +140,13 @@ func RunRuntimeAttack(prof ntpclient.Profile, scenario RuntimeScenario, cfg LabC
 	if _, ok := waitUntil(lab.Clock, time.Hour, func() bool {
 		return shifted(client.ClockOffset(), 0) || absd(client.ClockOffset()) < time.Second
 	}); !ok {
+		tr.Span(syncStart, lab.Clock.Now(), "run", "honest-sync", "failed")
 		return res, ErrNotSynced
 	}
+	tr.Span(syncStart, lab.Clock.Now(), "run", "honest-sync", "ok")
 	res.Synced = true
 	lookupsBefore := client.DNSLookups
+	attackStart := lab.Clock.Now()
 
 	// Attack begins: keep the defragmentation cache loaded so the client's
 	// eventual DNS re-query is answered with the attacker's servers.
@@ -165,6 +183,7 @@ func RunRuntimeAttack(prof ntpclient.Profile, scenario RuntimeScenario, cfg LabC
 	d, ok := waitUntil(lab.Clock, 4*time.Hour, func() bool {
 		return shifted(client.ClockOffset(), lab.cfg.EvilOffset)
 	})
+	tr.Span(attackStart, lab.Clock.Now(), "run", "starve-attack", traceOutcome(ok))
 	res.Succeeded = ok
 	res.Duration = d
 	res.DNSLookups = client.DNSLookups - lookupsBefore
@@ -363,16 +382,21 @@ func RunChronosAttack(n, spoofedAddrs int, cfg LabConfig) (ChronosResult, error)
 	}
 
 	res := ChronosResult{N: n, Bound: chronos.AttackBound(perQuery, spoofedAddrs)}
+	tr := lab.tracer()
 
 	// Let n honest hourly queries complete.
+	honestStart := lab.Clock.Now()
 	lab.Clock.RunFor(time.Duration(n)*time.Hour + 30*time.Minute)
+	tr.Span(honestStart, lab.Clock.Now(), "run", "honest-window", "")
 
 	// Poisoning lands: attacker addresses with TTL > 24 h, so every
 	// remaining hourly query is answered from cache.
 	lab.Resolver.OverrideCache(PoolDomain, dnswire.TypeA, lab.evilRRSet(25*3600), 25*time.Hour)
 
 	// Run out the 24-hour pool-generation window plus sampling time.
+	poisonedStart := lab.Clock.Now()
 	lab.Clock.RunFor(26 * time.Hour)
+	tr.Span(poisonedStart, lab.Clock.Now(), "run", "poisoned-window", "")
 
 	res.PoolSize = client.PoolSize()
 	for _, a := range lab.evilAddr {

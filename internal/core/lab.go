@@ -7,6 +7,7 @@ package core
 
 import (
 	"errors"
+	"strconv"
 	"time"
 
 	"dnstime/internal/attack"
@@ -18,6 +19,7 @@ import (
 	"dnstime/internal/netem"
 	"dnstime/internal/ntpclient"
 	"dnstime/internal/ntpserv"
+	"dnstime/internal/obs"
 	"dnstime/internal/simclock"
 	"dnstime/internal/simnet"
 )
@@ -80,6 +82,13 @@ type LabConfig struct {
 	// byte-identical special case. Path and Topology are mutually
 	// exclusive: fold a uniform path into Topology.Default instead.
 	Topology *netem.Topology
+	// Tracer receives the lab's virtual-time observability events: every
+	// simnet packet event, every clock fire and the attacker's phase spans
+	// (internal/obs; DESIGN.md §12). nil (the default) installs obs.Nop —
+	// the hooks are then never wired, so untraced labs pay nothing. The
+	// emitted sequence is deterministic per Seed, like everything else in
+	// the lab.
+	Tracer obs.Tracer
 }
 
 func (c *LabConfig) applyDefaults() {
@@ -101,6 +110,9 @@ func (c *LabConfig) applyDefaults() {
 	}
 	if c.PoolTTL == 0 {
 		c.PoolTTL = 150
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.Nop
 	}
 }
 
@@ -135,6 +147,9 @@ func (c *LabConfig) netOptions() ([]simnet.Option, *netem.Compiler, error) {
 	// models) derives from the lab seed — never from a global or pinned
 	// source — so campaigns replay byte-identically at any worker count.
 	opts := []simnet.Option{simnet.WithSeed(c.Seed + 3)}
+	if c.Tracer != nil && c.Tracer.Enabled() {
+		opts = append(opts, simnet.WithTrace(traceNet(c.Tracer)))
+	}
 	var topo *netem.Compiler
 	if c.Topology != nil {
 		// The compiled model is live: every host the lab adds (including
@@ -207,6 +222,29 @@ func (l *Lab) Reset(cfg LabConfig) error {
 // labs: the resolver only reads it.
 var labDelegations = map[string]ipv4.Addr{"ntp.org": NSAddr}
 
+// tracer returns the lab's Tracer (obs.Nop when tracing is off), for the
+// experiment runners' phase spans.
+func (l *Lab) tracer() obs.Tracer {
+	if l.cfg.Tracer != nil {
+		return l.cfg.Tracer
+	}
+	return obs.Nop
+}
+
+// traceNet bridges simnet's packet-trace hook onto the lab Tracer. Traced
+// packets are pooled, so the adapter formats what it needs immediately
+// and retains nothing.
+func traceNet(tr obs.Tracer) func(simnet.TraceEvent) {
+	return func(e simnet.TraceEvent) {
+		p := e.Pkt
+		tr.Event(e.Time, "net", e.Kind.String(),
+			p.Src.String()+">"+p.Dst.String()+
+				" id="+strconv.Itoa(int(p.ID))+
+				" off="+strconv.Itoa(p.FragOff)+
+				" len="+strconv.Itoa(p.TotalLen()))
+	}
+}
+
 // wire attaches (or re-attaches) every lab component onto the clock and
 // network, in the exact order NewLab always has: nameserver, resolver,
 // attacker, honest servers, evil servers, pool. Components that survived a
@@ -215,6 +253,13 @@ var labDelegations = map[string]ipv4.Addr{"ntp.org": NSAddr}
 // scratch buffers are recycled instead of reallocated every seed.
 func (l *Lab) wire() error {
 	cfg := l.cfg
+	if tr := cfg.Tracer; tr != nil && tr.Enabled() {
+		// The clock hook dies with Clock.Reset, so both the fresh and the
+		// pooled path install it here, before any event can fire.
+		l.Clock.SetFireHook(func(at time.Time, seq uint64) {
+			tr.Event(at, "clock", "fire", "seq="+strconv.FormatUint(seq, 10))
+		})
+	}
 	authHost, err := l.labHost(NSAddr, netem.RoleNameserver, simnet.HostConfig{})
 	if err != nil {
 		return err
@@ -254,6 +299,7 @@ func (l *Lab) wire() error {
 	} else {
 		l.Eve = attack.New(eveHost, cfg.Seed+2)
 	}
+	l.Eve.SetTracer(cfg.Tracer)
 	for i := 0; i < cfg.HonestServers; i++ {
 		if err := l.addHonest(); err != nil {
 			return err
@@ -442,6 +488,9 @@ func (c *Campaign) Stop() {
 // fragments, inject.
 func (c *Campaign) plantOnce() {
 	l := c.lab
+	if tr := l.tracer(); tr.Enabled() {
+		tr.Event(l.Clock.Now(), "attack", "plant-round", "round="+strconv.Itoa(c.Rounds))
+	}
 	l.Eve.ForceFragmentation(NSAddr, ResolverAddr, 68)
 	l.Eve.FetchTemplate(NSAddr, PoolDomain, func(template []byte, err error) {
 		if err != nil {

@@ -1,6 +1,11 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"dnstime/internal/obs"
+)
 
 // The lab pool recycles fully wired laboratories across campaign seeds.
 // Building a lab allocates a clock, a network, a dozen hosts and their
@@ -15,24 +20,49 @@ var labPool struct {
 	disabled bool
 }
 
+// Pool effectiveness counters (obs.Default; exposed on the serve /metrics
+// Prometheus view): hits are acquisitions served by recycling a pooled
+// lab, misses built fresh, resets counts hard Reset calls on recycled
+// labs (hits that then failed config validation fall back to a fresh
+// build but still reset first).
+var (
+	poolHits = obs.Default.Counter("dnstime_labpool_hits_total",
+		"Lab acquisitions served by recycling a pooled laboratory.")
+	poolMisses = obs.Default.Counter("dnstime_labpool_misses_total",
+		"Lab acquisitions that built a fresh laboratory (empty or disabled pool).")
+	poolResets = obs.Default.Counter("dnstime_labpool_resets_total",
+		"Hard resets performed on recycled laboratories.")
+)
+
 // labPoolMax bounds retained labs; beyond it released labs are dropped for
 // the GC. Campaign workers are capped well below this.
 const labPoolMax = 32
 
 // acquireLab returns a laboratory configured exactly per cfg: a pooled lab
-// hard-reset to cfg when one is available, otherwise a fresh build.
+// hard-reset to cfg when one is available, otherwise a fresh build. Setup
+// and reset wall time feeds the obs phase-timing breakdown reported by
+// `experiments bench`.
 func acquireLab(cfg LabConfig) (*Lab, error) {
 	labPool.mu.Lock()
 	if labPool.disabled || len(labPool.labs) == 0 {
 		labPool.mu.Unlock()
-		return NewLab(cfg)
+		poolMisses.Inc()
+		start := time.Now()
+		l, err := NewLab(cfg)
+		obs.ObservePhase(obs.PhaseSetup, time.Since(start))
+		return l, err
 	}
 	n := len(labPool.labs)
 	l := labPool.labs[n-1]
 	labPool.labs[n-1] = nil
 	labPool.labs = labPool.labs[:n-1]
 	labPool.mu.Unlock()
-	if err := l.Reset(cfg); err != nil {
+	poolHits.Inc()
+	poolResets.Inc()
+	start := time.Now()
+	err := l.Reset(cfg)
+	obs.ObservePhase(obs.PhaseReset, time.Since(start))
+	if err != nil {
 		// Reset only fails on configs NewLab rejects too; surface the
 		// identical error from the identical validation path.
 		return NewLab(cfg)

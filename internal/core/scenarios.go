@@ -90,7 +90,8 @@ func sizeParam(p scenario.Params, key string) (int, error) {
 }
 
 // labFromParams builds the per-run LabConfig from the generic scenario
-// params, seeding it for the run.
+// params, seeding it for the run. The caller threads cfg.Tracer itself
+// (labConfig below does both).
 func labFromParams(seed int64, p scenario.Params) (LabConfig, error) {
 	cfg := LabConfig{Seed: seed}
 	var err error
@@ -131,6 +132,14 @@ func labFromParams(seed int64, p scenario.Params) (LabConfig, error) {
 // profiles, defaulting to the paper's headline ntpd profile.
 func clientFromParams(p scenario.Params) (ntpclient.Profile, error) {
 	return ntpclient.ProfileByName(p.Str("client", "ntpd"))
+}
+
+// labConfig builds the per-run LabConfig from the scenario Config: params
+// plus the run's tracer, so a traced campaign run records its lab.
+func labConfig(seed int64, cfg scenario.Config) (LabConfig, error) {
+	lc, err := labFromParams(seed, cfg.Params)
+	lc.Tracer = cfg.Tracer
+	return lc, err
 }
 
 // The end-to-end attack experiments register themselves with the scenario
@@ -205,7 +214,7 @@ func bootScenario(_ context.Context, seed int64, cfg scenario.Config) (scenario.
 	if err != nil {
 		return scenario.Result{}, err
 	}
-	lab, err := labFromParams(seed, cfg.Params)
+	lab, err := labConfig(seed, cfg)
 	if err != nil {
 		return scenario.Result{}, err
 	}
@@ -237,7 +246,7 @@ func runtimeScenario(_ context.Context, seed int64, cfg scenario.Config) (scenar
 	default:
 		return scenario.Result{}, fmt.Errorf("core: unknown run-time scenario %q (want P1 or P2)", name)
 	}
-	lab, err := labFromParams(seed, cfg.Params)
+	lab, err := labConfig(seed, cfg)
 	if err != nil {
 		return scenario.Result{}, err
 	}
@@ -268,7 +277,7 @@ func tableIScenario(_ context.Context, seed int64, cfg scenario.Config) (scenari
 		if err != nil {
 			return scenario.Result{}, err
 		}
-		boot, err := RunBootTimeAttack(pu.Profile, LabConfig{Seed: seed, Path: path, Topology: topo})
+		boot, err := RunBootTimeAttack(pu.Profile, LabConfig{Seed: seed, Path: path, Topology: topo, Tracer: cfg.Tracer})
 		if err != nil {
 			return scenario.Result{}, fmt.Errorf("table I %s: %w", pu.Profile.Name, err)
 		}
@@ -298,7 +307,7 @@ func tableIIScenario(_ context.Context, seed int64, cfg scenario.Config) (scenar
 		if err != nil {
 			return scenario.Result{}, err
 		}
-		r, err := RunRuntimeAttack(s.prof, s.scenario, LabConfig{Seed: seed, Path: path, Topology: topo})
+		r, err := RunRuntimeAttack(s.prof, s.scenario, LabConfig{Seed: seed, Path: path, Topology: topo, Tracer: cfg.Tracer})
 		if err != nil {
 			return scenario.Result{}, fmt.Errorf("table II %s/%s: %w", s.prof.Name, s.scenario, err)
 		}
@@ -325,7 +334,7 @@ func chronosScenario(_ context.Context, seed int64, cfg scenario.Config) (scenar
 	if n < 0 || spoofed < 0 {
 		return scenario.Result{}, fmt.Errorf("core: chronos params N=%d spoofed=%d must not be negative", n, spoofed)
 	}
-	lab, err := labFromParams(seed, cfg.Params)
+	lab, err := labConfig(seed, cfg)
 	if err != nil {
 		return scenario.Result{}, err
 	}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Build identifies the running binary: module version, VCS revision, and
+// Go toolchain, read once from debug.ReadBuildInfo. Fields the build did
+// not stamp (e.g. a non-VCS checkout) are "unknown".
+type Build struct {
+	// Version is the main module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// Revision is the VCS revision the binary was built from.
+	Revision string `json:"revision"`
+	// Modified reports a dirty working tree at build time.
+	Modified bool `json:"modified,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo Build
+)
+
+// BuildInfo returns the binary's build identification (cached after the
+// first call).
+func BuildInfo() Build {
+	buildOnce.Do(func() {
+		buildInfo = Build{Version: "unknown", Revision: "unknown", GoVersion: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.GoVersion = bi.GoVersion
+		if bi.Main.Version != "" {
+			buildInfo.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}

@@ -1,0 +1,38 @@
+package obs
+
+import "time"
+
+// Tracer receives structured observability events stamped with virtual
+// (simclock) time. Implementations must be safe for use from a single
+// run's goroutine; the engine gives each seed its own Tracer, so no
+// cross-run synchronisation is required of emitters.
+//
+// Emission must never influence the traced computation: a traced run and
+// an untraced run of the same (scenario, seed, params) produce identical
+// Results.
+type Tracer interface {
+	// Enabled reports whether events are recorded. Hot paths check this
+	// (or compare against nil/Nop) before building detail strings, so a
+	// disabled tracer costs one branch and zero allocations.
+	Enabled() bool
+	// Event records an instant at virtual time at. cat groups related
+	// events ("net", "clock", "attack"), name identifies the event kind,
+	// and detail is an optional human-readable payload.
+	Event(at time.Time, cat, name, detail string)
+	// Span records a completed interval [from, to] in virtual time.
+	// Spans are emitted on completion, so a sink may see them out of
+	// start-time order; viewers sort by timestamp.
+	Span(from, to time.Time, cat, name, detail string)
+}
+
+// Nop is the disabled Tracer: Enabled() is false and emission is a no-op.
+// It is the default everywhere a Tracer is threaded, so untraced runs pay
+// nothing.
+var Nop Tracer = nopTracer{}
+
+type nopTracer struct{}
+
+func (nopTracer) Enabled() bool                           { return false }
+func (nopTracer) Event(time.Time, string, string, string) {}
+func (nopTracer) Span(time.Time, time.Time, string, string, string) {
+}

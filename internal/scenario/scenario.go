@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"dnstime/internal/obs"
 )
 
 // Config tunes how a scenario runs without changing which experiment it
@@ -21,6 +23,13 @@ type Config struct {
 	// Determinism extends to params: the same (seed, cfg) including Params
 	// must produce the identical Result.
 	Params Params
+	// Tracer receives the run's virtual-time observability events (packet
+	// sends, clock fires, attack phases; see internal/obs). nil or obs.Nop
+	// disables tracing at zero cost. Tracing is observation only: a traced
+	// run returns the identical Result to an untraced one, and because
+	// every scenario is deterministic per (seed, Params), the emitted event
+	// sequence is too.
+	Tracer obs.Tracer
 }
 
 // Result is the outcome of one seeded scenario run. It is the uniform

@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 
 	"dnstime/internal/campaign"
+	"dnstime/internal/obs"
 	"dnstime/internal/scenario"
 )
 
@@ -34,7 +37,8 @@ type job struct {
 	results []scenario.Result // stream replay buffer, arrival order
 	agg     json.RawMessage   // aggregate (per-run stripped), set at done/canceled
 	errMsg  string
-	cancel  context.CancelFunc // set while running
+	cancel  context.CancelFunc      // set while running
+	traces  map[int64]*bytes.Buffer // per-seed Chrome trace buffers (trace:true jobs)
 }
 
 // newJob builds a queued job for a normalised spec.
@@ -141,6 +145,40 @@ func (j *job) requestCancel(reason string) (before string, acted bool) {
 	return before, false
 }
 
+// addTrace registers one seed's Chrome trace buffer. Only the map is
+// guarded by the job lock — each buffer is written by exactly one engine
+// worker and read only after the job turns terminal.
+func (j *job) addTrace(seed int64, buf *bytes.Buffer) {
+	j.mu.Lock()
+	if j.traces == nil {
+		j.traces = map[int64]*bytes.Buffer{}
+	}
+	j.traces[seed] = buf
+	j.mu.Unlock()
+}
+
+// mergedTrace combines the per-seed trace buffers into one Chrome
+// trace_event array in ascending seed order. done reports whether the job
+// is terminal — before that the buffers are still being written and the
+// merge is refused.
+func (j *job) mergedTrace() (merged []byte, done bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !terminal(j.state) {
+		return nil, false
+	}
+	seeds := make([]int64, 0, len(j.traces))
+	for seed := range j.traces {
+		seeds = append(seeds, seed)
+	}
+	sort.Slice(seeds, func(a, b int) bool { return seeds[a] < seeds[b] })
+	parts := make([][]byte, len(seeds))
+	for i, seed := range seeds {
+		parts[i] = j.traces[seed].Bytes()
+	}
+	return obs.MergeChrome(parts...), true
+}
+
 // wake re-broadcasts the condition; stream handlers register it as a
 // context.AfterFunc so a disconnecting client unblocks its own wait.
 func (j *job) wake() {
@@ -160,6 +198,7 @@ type jobView struct {
 	Seeds    int             `json:"seeds"`
 	BaseSeed int64           `json:"base_seed"`
 	Fast     bool            `json:"fast,omitempty"`
+	Trace    bool            `json:"trace,omitempty"`
 	Cached   bool            `json:"cached,omitempty"`
 	RunsDone int             `json:"runs_done"`
 	Error    string          `json:"error,omitempty"`
@@ -175,7 +214,7 @@ func (j *job) view(withAgg bool) jobView {
 	v := jobView{
 		ID: j.id, Key: j.key, State: j.state,
 		Scenario: j.spec.Scenario, Params: j.spec.Params,
-		Seeds: j.spec.Seeds, Fast: j.spec.Fast,
+		Seeds: j.spec.Seeds, Fast: j.spec.Fast, Trace: j.spec.Trace,
 		Cached: j.cached, RunsDone: len(j.results), Error: j.errMsg,
 	}
 	if j.spec.BaseSeed != nil {

@@ -2,48 +2,96 @@ package serve
 
 import (
 	"sort"
-	"sync"
 	"time"
+
+	"dnstime/internal/obs"
 )
 
-// metrics aggregates the service's operational counters. All updates go
-// through methods holding mu; snapshot derives the rates. Wall-clock
-// readings come from the injected clock so tests stay deterministic.
+// metrics aggregates the service's operational counters on an
+// obs.Registry, giving one set of instruments two synchronised views: the
+// stable /metrics JSON document (snapshot) and the Prometheus text
+// exposition (the registry itself, merged with obs.Default at scrape
+// time). Counters are lock-free atomics; wall-clock readings come from
+// the injected clock so tests stay deterministic.
 type metrics struct {
-	mu    sync.Mutex
 	now   func() time.Time
 	start time.Time
+	reg   *obs.Registry
 
-	submissions  int64
-	rateLimited  int64
-	queueFull    int64
-	coalesced    int64
-	cacheHits    int64
-	cacheMisses  int64
-	jobsQueued   int64 // gauge
-	jobsRunning  int64 // gauge
-	jobsDone     int64
-	jobsFailed   int64
-	jobsCanceled int64
+	submissions  *obs.Counter
+	rateLimited  *obs.Counter
+	queueFull    *obs.Counter
+	coalesced    *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	cacheEntries *obs.Gauge
+	jobsQueued   *obs.Gauge
+	jobsRunning  *obs.Gauge
+	jobsDone     *obs.Counter
+	jobsFailed   *obs.Counter
+	jobsCanceled *obs.Counter
 
-	engineCampaigns int64
-	executedRuns    int64
-	resumedRuns     int64
-	busySeconds     float64
+	engineCampaigns *obs.Counter
+	executedRuns    *obs.Counter
+	resumedRuns     *obs.Counter
+	busySeconds     *obs.FloatCounter
 
-	scenarios map[string]*scenarioStats
-}
-
-// scenarioStats accumulates per-scenario job latency and throughput.
-type scenarioStats struct {
-	jobs    int64
-	runs    int64
-	seconds float64
+	jobSeconds      *obs.HistogramVec
+	scenarioJobs    *obs.CounterVec
+	scenarioRuns    *obs.CounterVec
+	scenarioSeconds *obs.FloatCounterVec
 }
 
 // newMetrics starts the counter set at the injected clock's current time.
+// Each server owns a private registry so concurrent servers (tests) never
+// share counters; process-wide engine metrics live in obs.Default and are
+// merged at exposition time.
 func newMetrics(now func() time.Time) *metrics {
-	return &metrics{now: now, start: now(), scenarios: map[string]*scenarioStats{}}
+	reg := obs.NewRegistry()
+	return &metrics{
+		now: now, start: now(), reg: reg,
+		submissions: reg.Counter("dnstime_serve_submissions_total",
+			"Job submissions accepted for spec validation."),
+		rateLimited: reg.Counter("dnstime_serve_rate_limited_total",
+			"Submissions rejected by the per-client rate limiter."),
+		queueFull: reg.Counter("dnstime_serve_queue_full_total",
+			"Submissions rejected because the bounded job queue was full."),
+		coalesced: reg.Counter("dnstime_serve_coalesced_total",
+			"Submissions coalesced onto an identical in-flight job."),
+		cacheHits: reg.Counter("dnstime_serve_cache_hits_total",
+			"Submissions served instantly from the aggregate cache."),
+		cacheMisses: reg.Counter("dnstime_serve_cache_misses_total",
+			"Submissions that missed the aggregate cache and enqueued a campaign."),
+		cacheEntries: reg.Gauge("dnstime_serve_cache_entries",
+			"Aggregates currently held by the cache."),
+		jobsQueued: reg.Gauge("dnstime_serve_jobs_queued",
+			"Jobs currently waiting in the FIFO queue."),
+		jobsRunning: reg.Gauge("dnstime_serve_jobs_running",
+			"Jobs currently executing on the dispatcher."),
+		jobsDone: reg.Counter("dnstime_serve_jobs_done_total",
+			"Jobs that completed successfully (including cache hits)."),
+		jobsFailed: reg.Counter("dnstime_serve_jobs_failed_total",
+			"Jobs that terminated with an error."),
+		jobsCanceled: reg.Counter("dnstime_serve_jobs_canceled_total",
+			"Jobs canceled by a client or a server drain."),
+		engineCampaigns: reg.Counter("dnstime_serve_engine_campaigns_total",
+			"Campaigns started on the embedded engine."),
+		executedRuns: reg.Counter("dnstime_serve_executed_runs_total",
+			"Seeds actually executed by the engine (checkpoint-resumed seeds excluded)."),
+		resumedRuns: reg.Counter("dnstime_serve_resumed_runs_total",
+			"Seeds reused byte-identically from campaign checkpoints."),
+		busySeconds: reg.FloatCounter("dnstime_serve_busy_seconds_total",
+			"Wall-clock seconds the dispatcher spent executing campaigns."),
+		jobSeconds: reg.HistogramVec("dnstime_serve_job_seconds",
+			"Wall-clock seconds one job spent on the dispatcher, by scenario.",
+			"scenario", obs.DurationBuckets),
+		scenarioJobs: reg.CounterVec("dnstime_serve_scenario_jobs_total",
+			"Jobs finished, by scenario.", "scenario"),
+		scenarioRuns: reg.CounterVec("dnstime_serve_scenario_runs_total",
+			"Seeds executed, by scenario.", "scenario"),
+		scenarioSeconds: reg.FloatCounterVec("dnstime_serve_scenario_seconds_total",
+			"Wall-clock seconds spent, by scenario.", "scenario"),
+	}
 }
 
 // metricsSnapshot is the /metrics JSON document. Field order is fixed by
@@ -55,6 +103,7 @@ type metricsSnapshot struct {
 	Cache         cacheCounters    `json:"cache"`
 	Engine        engineCounters   `json:"engine"`
 	Scenarios     []scenarioMetric `json:"scenarios,omitempty"`
+	Build         obs.Build        `json:"build"`
 }
 
 // jobCounters reports the queue and job-lifecycle counters.
@@ -103,54 +152,48 @@ type scenarioMetric struct {
 // snapshot freezes the counters into the /metrics document. cacheEntries
 // is supplied by the cache, which owns its own lock.
 func (m *metrics) snapshot(cacheEntries int) metricsSnapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.cacheEntries.Set(int64(cacheEntries))
+	hits, misses := m.cacheHits.Value(), m.cacheMisses.Value()
+	busy := m.busySeconds.Value()
 	s := metricsSnapshot{
 		UptimeSeconds: m.now().Sub(m.start).Seconds(),
 		Jobs: jobCounters{
-			Queued: m.jobsQueued, Running: m.jobsRunning,
-			Done: m.jobsDone, Failed: m.jobsFailed, Canceled: m.jobsCanceled,
-			Submissions: m.submissions, Coalesced: m.coalesced,
-			RateLimited: m.rateLimited, QueueFull: m.queueFull,
+			Queued: m.jobsQueued.Value(), Running: m.jobsRunning.Value(),
+			Done: m.jobsDone.Value(), Failed: m.jobsFailed.Value(), Canceled: m.jobsCanceled.Value(),
+			Submissions: m.submissions.Value(), Coalesced: m.coalesced.Value(),
+			RateLimited: m.rateLimited.Value(), QueueFull: m.queueFull.Value(),
 		},
 		Cache: cacheCounters{
-			Hits: m.cacheHits, Misses: m.cacheMisses, Entries: cacheEntries,
+			Hits: hits, Misses: misses, Entries: cacheEntries,
 		},
 		Engine: engineCounters{
-			Campaigns: m.engineCampaigns, ExecutedRuns: m.executedRuns,
-			ResumedRuns: m.resumedRuns, BusySeconds: m.busySeconds,
+			Campaigns: m.engineCampaigns.Value(), ExecutedRuns: m.executedRuns.Value(),
+			ResumedRuns: m.resumedRuns.Value(), BusySeconds: busy,
 		},
+		Build: obs.BuildInfo(),
 	}
-	if lookups := m.cacheHits + m.cacheMisses; lookups > 0 {
-		s.Cache.HitRatePct = 100 * float64(m.cacheHits) / float64(lookups)
+	if lookups := hits + misses; lookups > 0 {
+		s.Cache.HitRatePct = 100 * float64(hits) / float64(lookups)
 	}
-	if m.busySeconds > 0 {
-		s.Engine.RunsPerSec = float64(m.executedRuns) / m.busySeconds
+	if busy > 0 {
+		s.Engine.RunsPerSec = float64(m.executedRuns.Value()) / busy
 	}
-	names := make([]string, 0, len(m.scenarios))
-	for name := range m.scenarios {
-		names = append(names, name)
-	}
+	names := m.scenarioJobs.Labels()
 	sort.Strings(names)
 	for _, name := range names {
-		st := m.scenarios[name]
-		row := scenarioMetric{Scenario: name, Jobs: st.jobs, Runs: st.runs, Seconds: st.seconds}
-		if st.jobs > 0 {
-			row.AvgJobSeconds = st.seconds / float64(st.jobs)
+		jobs := m.scenarioJobs.With(name).Value()
+		runs := m.scenarioRuns.With(name).Value()
+		seconds := m.scenarioSeconds.With(name).Value()
+		row := scenarioMetric{Scenario: name, Jobs: jobs, Runs: runs, Seconds: seconds}
+		if jobs > 0 {
+			row.AvgJobSeconds = seconds / float64(jobs)
 		}
-		if st.seconds > 0 {
-			row.RunsPerSec = float64(st.runs) / st.seconds
+		if seconds > 0 {
+			row.RunsPerSec = float64(runs) / seconds
 		}
 		s.Scenarios = append(s.Scenarios, row)
 	}
 	return s
-}
-
-// locked runs fn holding the counter lock.
-func (m *metrics) locked(fn func(*metrics)) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	fn(m)
 }
 
 // jobFinished folds one executed campaign into the engine and
@@ -158,17 +201,11 @@ func (m *metrics) locked(fn func(*metrics)) {
 // resumed), resumed the checkpoint-reused seeds, seconds the job's wall
 // time on the dispatcher.
 func (m *metrics) jobFinished(scenarioName string, executed, resumed int64, seconds float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.executedRuns += executed
-	m.resumedRuns += resumed
-	m.busySeconds += seconds
-	st := m.scenarios[scenarioName]
-	if st == nil {
-		st = &scenarioStats{}
-		m.scenarios[scenarioName] = st
-	}
-	st.jobs++
-	st.runs += executed
-	st.seconds += seconds
+	m.executedRuns.Add(executed)
+	m.resumedRuns.Add(resumed)
+	m.busySeconds.Add(seconds)
+	m.jobSeconds.With(scenarioName).Observe(seconds)
+	m.scenarioJobs.With(scenarioName).Inc()
+	m.scenarioRuns.With(scenarioName).Add(executed)
+	m.scenarioSeconds.With(scenarioName).Add(seconds)
 }

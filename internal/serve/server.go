@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -9,11 +10,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dnstime/internal/campaign"
+	"dnstime/internal/obs"
 	"dnstime/internal/scenario"
 )
 
@@ -118,6 +121,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -160,7 +164,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		select {
 		case j := <-s.queueCh:
 			if before, acted := j.requestCancel("server draining"); acted && before == stateQueued {
-				s.metrics.locked(func(m *metrics) { m.jobsQueued--; m.jobsCanceled++ })
+				s.metrics.jobsQueued.Dec()
+				s.metrics.jobsCanceled.Inc()
 			}
 			s.dropInflight(j)
 		default:
@@ -199,7 +204,8 @@ func (s *Server) runJob(j *job) {
 	if !j.begin(cancel) {
 		return // cancelled while queued; the cancel path updated metrics
 	}
-	s.metrics.locked(func(m *metrics) { m.jobsQueued--; m.jobsRunning++ })
+	s.metrics.jobsQueued.Dec()
+	s.metrics.jobsRunning.Inc()
 	start := s.clock()
 
 	var executed atomic.Int64
@@ -214,7 +220,17 @@ func (s *Server) runJob(j *job) {
 		path := filepath.Join(s.cfg.StateDir, j.key+".jsonl")
 		opts = append(opts, campaign.WithCheckpoint(path), campaign.WithResume(path))
 	}
-	s.metrics.locked(func(m *metrics) { m.engineCampaigns++ })
+	if j.spec.Trace {
+		// Traced jobs record one in-memory Chrome trace per executed seed
+		// (pid = seed, so the merged /trace view shows one process lane per
+		// seed). Resumed seeds are not re-executed and leave no trace.
+		opts = append(opts, campaign.WithTracerFactory(func(seed int64) (obs.Tracer, error) {
+			buf := &bytes.Buffer{}
+			j.addTrace(seed, buf)
+			return obs.NewChrome(buf, seed), nil
+		}))
+	}
+	s.metrics.engineCampaigns.Inc()
 
 	st, err := campaign.NewEngine(opts...).Stream(ctx, j.spec.Scenario)
 	if err != nil {
@@ -238,7 +254,13 @@ func (s *Server) runJob(j *job) {
 			s.finalizeJob(j, stateFailed, exec, resumed, seconds)
 			return
 		}
-		s.cache.put(j.key, agg)
+		if !j.spec.Trace {
+			// A traced job's deliverable includes the trace, which the
+			// aggregate cache cannot replay — traced campaigns always
+			// execute. Trace is part of the job Key, so they never collide
+			// with untraced entries either.
+			s.cache.put(j.key, agg)
+		}
 		j.finish(stateDone, raw, "")
 		s.finalizeJob(j, stateDone, exec, resumed, seconds)
 	case agg.Partial:
@@ -261,17 +283,15 @@ func (s *Server) runJob(j *job) {
 // finalizeJob folds a finished run into the metrics and frees its
 // campaign key for resubmission.
 func (s *Server) finalizeJob(j *job, state string, executed, resumed int64, seconds float64) {
-	s.metrics.locked(func(m *metrics) {
-		m.jobsRunning--
-		switch state {
-		case stateDone:
-			m.jobsDone++
-		case stateFailed:
-			m.jobsFailed++
-		case stateCanceled:
-			m.jobsCanceled++
-		}
-	})
+	s.metrics.jobsRunning.Dec()
+	switch state {
+	case stateDone:
+		s.metrics.jobsDone.Inc()
+	case stateFailed:
+		s.metrics.jobsFailed.Inc()
+	case stateCanceled:
+		s.metrics.jobsCanceled.Inc()
+	}
 	s.metrics.jobFinished(j.spec.Scenario, executed, resumed, seconds)
 	s.dropInflight(j)
 }
@@ -301,7 +321,7 @@ func (s *Server) lookupJob(id string) (*job, bool) {
 // server is draining.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.limiter.Allow(clientKey(r)) {
-		s.metrics.locked(func(m *metrics) { m.rateLimited++ })
+		s.metrics.rateLimited.Inc()
 		writeErr(w, http.StatusTooManyRequests, "rate limit exceeded")
 		return
 	}
@@ -329,7 +349,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
-	s.metrics.locked(func(m *metrics) { m.submissions++ })
+	s.metrics.submissions.Inc()
 	if agg, ok := s.cache.get(key); ok {
 		j, err := newCachedJob(s.newID(), key, norm, agg)
 		if err != nil {
@@ -340,13 +360,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.jobs[j.id] = j
 		s.order = append(s.order, j)
 		s.mu.Unlock()
-		s.metrics.locked(func(m *metrics) { m.cacheHits++; m.jobsDone++ })
+		s.metrics.cacheHits.Inc()
+		s.metrics.jobsDone.Inc()
 		writeJSON(w, http.StatusOK, j.view(true))
 		return
 	}
 	if live, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
-		s.metrics.locked(func(m *metrics) { m.coalesced++ })
+		s.metrics.coalesced.Inc()
 		writeJSON(w, http.StatusOK, live.view(false))
 		return
 	}
@@ -355,7 +376,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case s.queueCh <- j:
 	default:
 		s.mu.Unlock()
-		s.metrics.locked(func(m *metrics) { m.queueFull++ })
+		s.metrics.queueFull.Inc()
 		writeErr(w, http.StatusServiceUnavailable, "job queue full")
 		return
 	}
@@ -363,7 +384,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, j)
 	s.inflight[key] = j
 	s.mu.Unlock()
-	s.metrics.locked(func(m *metrics) { m.cacheMisses++; m.jobsQueued++ })
+	s.metrics.cacheMisses.Inc()
+	s.metrics.jobsQueued.Inc()
 	writeJSON(w, http.StatusAccepted, j.view(false))
 }
 
@@ -412,7 +434,8 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if before == stateQueued {
-		s.metrics.locked(func(m *metrics) { m.jobsQueued--; m.jobsCanceled++ })
+		s.metrics.jobsQueued.Dec()
+		s.metrics.jobsCanceled.Inc()
 		s.dropInflight(j)
 	}
 	writeJSON(w, http.StatusOK, j.view(true))
@@ -500,13 +523,42 @@ func writeLine(w http.ResponseWriter, line streamLine) bool {
 	return err == nil
 }
 
-// handleMetrics is GET /metrics: the service's operational counters as a
-// JSON document.
+// handleMetrics is GET /metrics. The default view is the service's
+// operational counters as a JSON document; a client that asks for
+// ?format=prometheus (or sends an Accept header preferring text/plain or
+// OpenMetrics) gets the Prometheus text exposition instead — the server's
+// own registry merged with the process-wide obs.Default instruments (lab
+// pool, phase timing, engine seed latency). Both views read the same
+// counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		s.metrics.cacheEntries.Set(int64(s.cache.len()))
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = obs.WritePrometheus(w, s.metrics.reg, obs.Default)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.cache.len()))
 }
 
-// handleHealthz is GET /healthz.
+// wantsPrometheus decides the /metrics representation: an explicit
+// ?format= wins (prometheus/text vs json), otherwise the Accept header —
+// text/plain or OpenMetrics selects the Prometheus exposition, anything
+// else (including no preference) keeps the historical JSON document.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// handleHealthz is GET /healthz: liveness plus the build revision, so a
+// fleet health sweep identifies what each instance is running.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	status := "ok"
@@ -515,8 +567,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-	}{status})
+		Status   string `json:"status"`
+		Revision string `json:"revision"`
+	}{status, obs.BuildInfo().Revision})
+}
+
+// handleTrace is GET /jobs/{id}/trace: the merged Chrome trace_event
+// document of a completed traced job — every executed seed's events in
+// one array, one process lane (pid) per seed. Jobs submitted without
+// trace:true answer 404; a job still queued or running answers 409 (its
+// per-seed buffers are not final until the engine drains).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookupJob(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if !j.spec.Trace {
+		writeErr(w, http.StatusNotFound, "job was not submitted with trace:true")
+		return
+	}
+	merged, done := j.mergedTrace()
+	if !done {
+		writeErr(w, http.StatusConflict, "job not finished; trace is available once terminal")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(merged)
 }
 
 // handleScenarios is GET /scenarios: the registry as submission

@@ -30,9 +30,21 @@ type Clock struct {
 	nowN   int64 // now.UnixNano(), the heap ordering key
 	events []heapNode
 	seq    uint64
-	arena  []event // every event slot this clock has ever allocated
-	free   []int32 // recycled arena slots (fired or cancelled events)
+	arena  []event  // every event slot this clock has ever allocated
+	free   []int32  // recycled arena slots (fired or cancelled events)
+	onFire FireHook // observability hook; nil (the default) costs one branch
 }
+
+// FireHook observes every event the clock executes, called from Step with
+// the event's virtual timestamp and insertion sequence number immediately
+// before the callback runs. Because execution order is the strict
+// (timestamp, sequence) total order, the hook sees a deterministic stream
+// for a deterministic simulation. The hook must not mutate the clock.
+type FireHook func(at time.Time, seq uint64)
+
+// SetFireHook installs (or with nil removes) the clock's fire hook.
+// Reset clears it, like every other piece of run state.
+func (c *Clock) SetFireHook(h FireHook) { c.onFire = h }
 
 // New returns a Clock whose current time is start.
 func New(start time.Time) *Clock {
@@ -52,6 +64,7 @@ func (c *Clock) Reset(start time.Time) {
 	c.seq = 0
 	c.now = start
 	c.nowN = start.UnixNano()
+	c.onFire = nil
 }
 
 // Now returns the current virtual time.
@@ -244,6 +257,9 @@ func (c *Clock) Step() bool {
 		c.now = ev.at
 		c.nowN = ev.atN
 		fn, argFn, arg := ev.fn, ev.argFn, ev.arg
+		if c.onFire != nil {
+			c.onFire(ev.at, ev.seq)
+		}
 		c.recycleEvent(idx)
 		if fn != nil {
 			fn()

@@ -11,6 +11,18 @@
 // defragmentation cache (internal/ipv4.Reassembler), a path-MTU cache
 // updated by ICMP Fragmentation Needed messages, and an IPID allocator for
 // outgoing packets.
+//
+// # Trace ordering contract
+//
+// The WithTrace callback observes packet events synchronously from the
+// single goroutine driving the network's clock, in the exact order the
+// network processes them. That order is deterministic: the simulation's
+// clock executes events in the strict (timestamp, insertion-sequence)
+// total order, and all randomness (latency jitter, loss, IPID choices)
+// derives from the network's seed. Two runs of the same scenario at the
+// same seed therefore produce the identical trace-event sequence — at any
+// campaign worker count and whether the lab was built fresh or recycled
+// from the pool — which is what makes recorded traces byte-reproducible.
 package simnet
 
 import (
@@ -170,6 +182,8 @@ func editPath(edit func(*netem.Path)) Option {
 // WithTrace installs a packet-trace callback. Traced packets may be pooled
 // and recycled after the surrounding processing step: callbacks must not
 // retain the event's Pkt or its payload (format or copy what they need).
+// Events arrive synchronously in processing order, which is deterministic
+// per seed (see the package comment's trace ordering contract).
 func WithTrace(f func(TraceEvent)) Option {
 	return func(n *Network) { n.trace = f }
 }
