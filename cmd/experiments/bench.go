@@ -130,8 +130,11 @@ func runBench(ctx context.Context, argv []string, w io.Writer) error {
 	if cfg.seeds <= 0 {
 		return fmt.Errorf("-seeds must be positive (got %d)", cfg.seeds)
 	}
-	if cfg.tolerance < 0 || cfg.tolerance >= 1 {
-		return fmt.Errorf("-tolerance must be a fraction in [0, 1) (got %v)", cfg.tolerance)
+	// The negated form catches NaN too: `NaN < 0` and `NaN >= 1` are both
+	// false, so the naive two-sided check would wave -tolerance NaN through
+	// and disable every regression comparison below it.
+	if !(cfg.tolerance >= 0 && cfg.tolerance < 1) {
+		return fmt.Errorf("-tolerance must be a finite fraction in [0, 1) (got %v)", cfg.tolerance)
 	}
 	if cfg.in != "" {
 		// Pure document-vs-document mode: the trajectory check CI runs over

@@ -212,6 +212,10 @@ func TestRunBenchCompareCLI(t *testing.T) {
 		"missing baseline":     {"-in", same, "-compare", filepath.Join(dir, "nope.json")},
 		"missing current":      {"-in", filepath.Join(dir, "nope.json"), "-compare", base},
 		"bad tolerance":        {"-in", same, "-compare", base, "-tolerance", "1.5"},
+		// flag.Float64Var parses NaN and ±Inf; the validator must reject
+		// them or every regression comparison degenerates to a pass.
+		"NaN tolerance": {"-in", same, "-compare", base, "-tolerance", "NaN"},
+		"Inf tolerance": {"-in", same, "-compare", base, "-tolerance", "+Inf"},
 	} {
 		if err := runBench(context.Background(), argv, io.Discard); err == nil {
 			t.Errorf("%s: accepted (argv %v)", name, argv)

@@ -48,6 +48,7 @@ type campaignConfig struct {
 	client     string
 	checkpoint string
 	resume     string
+	force      bool
 	traceDir   string
 }
 
@@ -68,6 +69,7 @@ func campaignFlagSet(cfg *campaignConfig) *flag.FlagSet {
 	fs.StringVar(&cfg.client, "client", "", "client profile param (shorthand for -param client=...)")
 	fs.StringVar(&cfg.checkpoint, "checkpoint", "", "write a JSONL line per completed seed to this file (needs -only with one scenario)")
 	fs.StringVar(&cfg.resume, "resume", "", "skip seeds already completed in this checkpoint file")
+	fs.BoolVar(&cfg.force, "force", false, "resume a checkpoint written by a different build revision")
 	fs.StringVar(&cfg.traceDir, "trace", "", "write one Chrome trace_event file per seed to this directory (open in Perfetto)")
 	return fs
 }
@@ -143,6 +145,9 @@ func runCampaigns(ctx context.Context, argv []string, w io.Writer) error {
 		}
 		if cfg.resume != "" {
 			opts = append(opts, dnstime.WithResume(cfg.resume))
+		}
+		if cfg.force {
+			opts = append(opts, dnstime.WithResumeForce())
 		}
 		if cfg.traceDir != "" {
 			opts = append(opts, dnstime.WithTraceDir(cfg.traceDir))

@@ -8,6 +8,8 @@
 //	experiments [-seed N] [-fast] [-only table3,fig5,...]
 //	experiments campaigns [-seeds N] [-workers M] [-json] [-fast] [-only boot,table4,...]
 //	experiments campaigns -only boot [-param client=chrony] [-checkpoint f.jsonl] [-resume f.jsonl]
+//	experiments search -scenario racemargin [-lo -2s -hi 0s -resolution 100ms] [-target 0.5] [-json]
+//	experiments search -scenario racemargin -dim vic-net=lan,wan -dim client=ntpd,chrony [-prune-seeds 4] [-lhs N]
 //	experiments scenarios [-markdown]
 //	experiments serve [-addr HOST:PORT] [-workers M] [-queue N] [-state DIR] [-rate R -burst B] [-pprof]
 //	experiments bench [-seeds N] [-fast] [-o BENCH_5.json]
@@ -33,7 +35,12 @@
 // with `-param rtt=...`/`-param loss=...` scalar overrides; `-param
 // topo=<preset>` (with `-param atk-net=...`/`-param cli-net=...`
 // per-side profiles) positions the attacker on a role-based topology
-// instead (DESIGN.md §9). The scenarios subcommand lists the registry
+// instead (DESIGN.md §9). The search subcommand drives campaigns
+// adaptively (DESIGN.md §13): by default it bisects a scenario's
+// monotone success-vs-parameter axis to its collapse threshold in
+// O(log) probe campaigns, and with repeated -dim flags it sweeps a
+// parameter grid, pruning cells whose Wilson interval already excludes
+// the -target success rate. The scenarios subcommand lists the registry
 // (-markdown emits the DESIGN.md §4 experiment index). The bench
 // subcommand times every scenario's campaign through the Engine and
 // emits a JSON throughput document (CI uploads a fresh artifact per
@@ -69,6 +76,20 @@ func main() {
 		stop()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments campaigns:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "search" {
+		// Same signal wiring as campaigns: SIGINT/SIGTERM cancel the
+		// probe campaigns; with -checkpoint the completed probes are
+		// already persisted for -resume.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		context.AfterFunc(ctx, stop)
+		err := runSearch(ctx, os.Args[2:], os.Stdout)
+		stop()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments search:", err)
 			os.Exit(1)
 		}
 		return

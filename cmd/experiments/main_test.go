@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -260,6 +261,14 @@ func checkExperimentsCommand(t *testing.T, cmd string, args []string) {
 		err = quietly(campaignFlagSet(&cfg)).Parse(args[1:])
 		if err == nil {
 			_, err = selectScenarios(cfg.only)
+		}
+	case len(args) > 0 && args[0] == "search":
+		var cfg searchConfig
+		err = quietly(searchFlagSet(&cfg)).Parse(args[1:])
+		if err == nil && cfg.scenarioName != "" {
+			if _, ok := dnstime.LookupScenario(cfg.scenarioName); !ok {
+				err = fmt.Errorf("unknown scenario %q", cfg.scenarioName)
+			}
 		}
 	case len(args) > 0 && args[0] == "scenarios":
 		var markdown bool

@@ -40,6 +40,7 @@ import (
 	"dnstime/internal/ntpclient"
 	"dnstime/internal/population"
 	"dnstime/internal/scenario"
+	"dnstime/internal/search"
 	"dnstime/internal/serve"
 )
 
@@ -291,12 +292,63 @@ var (
 	WithCheckpoint = campaign.WithCheckpoint
 	// WithResume skips seeds already recorded in a checkpoint file.
 	WithResume = campaign.WithResume
+	// WithResumeForce accepts a checkpoint written by a different VCS
+	// revision (refused by default — the seeds may not reproduce).
+	WithResumeForce = campaign.WithResumeForce
 	// WithTraceDir writes one deterministic Chrome trace_event file per
 	// executed seed (viewable in Perfetto) into a directory.
 	WithTraceDir = campaign.WithTraceDir
 	// WithTracerFactory installs a per-seed tracer source (see
 	// internal/obs for the tracing contract).
 	WithTracerFactory = campaign.WithTracerFactory
+)
+
+// Adaptive phase-boundary search (DESIGN.md §13): locate where a
+// scenario's success collapses without sweeping exhaustive grids.
+// SearchBisect brackets the threshold of a monotone success-vs-parameter
+// axis in O(log) probe campaigns; SearchGrid sweeps a parameter matrix
+// with Wilson-interval pruning and optional Latin-hypercube subsampling.
+// Every probe runs through the campaign Engine, and search output is
+// byte-identical at any worker count (`experiments search`).
+type (
+	// SearchAxis is one monotone success-vs-parameter dimension.
+	SearchAxis = search.Axis
+	// SearchKind selects an axis's unit system (duration or fraction).
+	SearchKind = search.Kind
+	// SearchOptions configures the probe campaigns of a search.
+	SearchOptions = search.Options
+	// SearchGridOptions configures a pruned grid sweep.
+	SearchGridOptions = search.GridOptions
+	// SearchDim is one dimension of a grid sweep.
+	SearchDim = search.Dim
+	// SearchProbe is one evaluated probe campaign.
+	SearchProbe = search.Probe
+	// SearchCell is one evaluated grid cell.
+	SearchCell = search.Cell
+	// SearchBisectResult is a completed threshold bisection.
+	SearchBisectResult = search.BisectResult
+	// SearchGridResult is a completed grid sweep.
+	SearchGridResult = search.GridResult
+)
+
+// Search axis unit systems.
+const (
+	SearchKindDuration = search.KindDuration
+	SearchKindFraction = search.KindFraction
+)
+
+// Search entry points.
+var (
+	// SearchBisect locates a monotone axis's collapse threshold.
+	SearchBisect = search.Bisect
+	// SearchGrid sweeps a parameter matrix with early pruning.
+	SearchGrid = search.Grid
+	// SearchDefaultAxis returns a scenario's built-in search axis.
+	SearchDefaultAxis = search.DefaultAxis
+	// SearchParseValue parses an axis value into native units.
+	SearchParseValue = search.ParseValue
+	// SearchParseKind parses an axis kind name.
+	SearchParseKind = search.ParseKind
 )
 
 // Campaign runners.

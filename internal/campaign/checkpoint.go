@@ -8,11 +8,29 @@ import (
 	"reflect"
 	"sort"
 
+	"dnstime/internal/obs"
 	"dnstime/internal/scenario"
 )
 
 // checkpointVersion is bumped if the JSONL layout ever changes shape.
 const checkpointVersion = 1
+
+// buildRevision reports the VCS revision to stamp into checkpoint
+// headers. It is a variable so tests can simulate resuming under a
+// different build — obs.BuildInfo caches after the first call, and
+// `go test` binaries carry no vcs.revision at all.
+var buildRevision = func() string { return obs.BuildInfo().Revision }
+
+// stampRevision returns the current build's VCS revision, or "" when the
+// binary was not built from a VCS checkout ("unknown" is the BuildInfo
+// placeholder, not an identity — stamping it would make every non-VCS
+// build look like the same revision).
+func stampRevision() string {
+	if rev := buildRevision(); rev != "" && rev != "unknown" {
+		return rev
+	}
+	return ""
+}
 
 // checkpointHeader is the first line of a checkpoint file: it pins the
 // campaign identity so a checkpoint can never be resumed into a different
@@ -25,6 +43,11 @@ type checkpointHeader struct {
 	Seeds    int             `json:"seeds"`
 	Fast     bool            `json:"fast,omitempty"`
 	Params   scenario.Params `json:"params,omitempty"`
+	// Revision records the VCS revision of the binary that wrote the
+	// checkpoint, when known. Per-seed results are only reproducible under
+	// the same simulator code, so resuming under a different revision is
+	// refused unless explicitly forced (WithResumeForce).
+	Revision string `json:"revision,omitempty"`
 }
 
 // header builds the checkpoint header for one resolved engine config.
@@ -36,6 +59,7 @@ func header(cfg engineConfig, scenarioName string) checkpointHeader {
 		Seeds:    cfg.seeds,
 		Fast:     cfg.fast,
 		Params:   cfg.params,
+		Revision: stampRevision(),
 	}
 }
 
@@ -56,6 +80,13 @@ func (h checkpointHeader) compatible(cfg engineConfig, scenarioName string) erro
 	if len(h.Params) != len(cfg.params) || (len(h.Params) > 0 && !reflect.DeepEqual(h.Params, cfg.params)) {
 		return fmt.Errorf("campaign: checkpoint params (%s) differ from engine params (%s)",
 			h.Params, cfg.params)
+	}
+	// The revision gate only fires when both sides are known: an old
+	// checkpoint without the field, or a non-VCS build, has nothing to
+	// compare — refusing there would break every `go test` resume.
+	if cur := stampRevision(); h.Revision != "" && cur != "" && h.Revision != cur && !cfg.forceResume {
+		return fmt.Errorf("campaign: checkpoint was written at revision %.12s, this build is %.12s — its seeds may not reproduce; pass -force (WithResumeForce) to resume anyway",
+			h.Revision, cur)
 	}
 	return nil
 }

@@ -34,6 +34,7 @@ type engineConfig struct {
 	progress    func(done, total int)
 	checkpoint  string
 	resume      string
+	forceResume bool
 	traceDir    string
 	tracerFor   func(seed int64) (obs.Tracer, error)
 }
@@ -142,6 +143,16 @@ func WithTracerFactory(fn func(seed int64) (obs.Tracer, error)) Option {
 // same invocation works for the first run and every resumption.
 func WithResume(path string) Option {
 	return func(c *engineConfig) { c.resume = path }
+}
+
+// WithResumeForce lets WithResume accept a checkpoint written by a
+// different VCS revision of this binary. By default such a resume is
+// refused: per-seed results are only reproducible under the simulator
+// code that produced them, so mixing revisions can fold incomparable
+// seeds into one aggregate. Forcing is for when the caller knows the
+// intervening changes cannot affect the scenario's results.
+func WithResumeForce() Option {
+	return func(c *engineConfig) { c.forceResume = true }
 }
 
 // Engine is the single execution surface for multi-seed campaigns: it

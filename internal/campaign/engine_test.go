@@ -315,6 +315,68 @@ func TestEngineResumeRejectsMismatch(t *testing.T) {
 	}
 }
 
+// TestEngineResumeRevisionGate: a checkpoint header records the writing
+// build's VCS revision, and a build at a different revision refuses to
+// resume it unless WithResumeForce is passed — recorded seeds are only
+// reproducible under the simulator code that produced them. The gate is
+// advisory where identity is unknowable: non-VCS builds ("unknown", the
+// `go test` case) stamp nothing and compare nothing.
+func TestEngineResumeRevisionGate(t *testing.T) {
+	defer func(orig func() string) { buildRevision = orig }(buildRevision)
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+
+	buildRevision = func() string { return "aaaa00000000" }
+	if _, err := NewEngine(WithSeeds(2), WithCheckpoint(path)).
+		Run(context.Background(), "t-eng-echo"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr := strings.SplitN(string(data), "\n", 2)[0]; !strings.Contains(hdr, `"revision":"aaaa00000000"`) {
+		t.Fatalf("header lacks the revision stamp: %s", hdr)
+	}
+
+	if _, err := NewEngine(WithSeeds(2), WithResume(path)).
+		Run(context.Background(), "t-eng-echo"); err != nil {
+		t.Errorf("same-revision resume refused: %v", err)
+	}
+
+	buildRevision = func() string { return "bbbb11111111" }
+	if _, err := NewEngine(WithSeeds(2), WithResume(path)).
+		Run(context.Background(), "t-eng-echo"); err == nil || !strings.Contains(err.Error(), "revision") {
+		t.Errorf("cross-revision resume not refused: %v", err)
+	}
+	if _, err := NewEngine(WithSeeds(2), WithResume(path), WithResumeForce()).
+		Run(context.Background(), "t-eng-echo"); err != nil {
+		t.Errorf("forced cross-revision resume failed: %v", err)
+	}
+
+	// Current build unknown: nothing to compare against, resume allowed.
+	buildRevision = func() string { return "unknown" }
+	if _, err := NewEngine(WithSeeds(2), WithResume(path)).
+		Run(context.Background(), "t-eng-echo"); err != nil {
+		t.Errorf("resume under unknown current revision refused: %v", err)
+	}
+
+	// Non-VCS builds must omit the field entirely, and such revision-free
+	// checkpoints (including every pre-gate file) stay resumable anywhere.
+	path2 := filepath.Join(t.TempDir(), "ck2.jsonl")
+	if _, err := NewEngine(WithSeeds(2), WithCheckpoint(path2)).
+		Run(context.Background(), "t-eng-echo"); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(path2); err != nil || strings.Contains(string(data), "revision") {
+		t.Errorf("non-VCS build stamped a revision (read err %v): %s", err, data)
+	}
+	buildRevision = func() string { return "cccc22222222" }
+	if _, err := NewEngine(WithSeeds(2), WithResume(path2)).
+		Run(context.Background(), "t-eng-echo"); err != nil {
+		t.Errorf("resume of a revision-free checkpoint refused: %v", err)
+	}
+}
+
 // TestEngineParams: overrides reach the runs, and unknown keys fail
 // before any run starts.
 func TestEngineParams(t *testing.T) {

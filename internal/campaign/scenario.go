@@ -53,16 +53,24 @@ func (o ScenarioOptions) options() []Option {
 }
 
 // MetricSummary aggregates one named metric across a campaign's clean
-// runs.
+// runs. A scenario is free to report a metric on only some of its seeds
+// (racemargin's tts_s/<margin> exists only where the clock shifted), so
+// every statistic here is computed over exactly the runs that reported
+// the key, and Samples is that denominator — a mean over 3 of 64 seeds
+// must never be read as a mean over the campaign.
 type MetricSummary struct {
 	// Name is the metric key as reported by the scenario's runs.
 	Name string `json:"name"`
-	// Samples is how many runs reported the metric.
+	// Samples is how many clean runs reported the metric — the
+	// denominator of every statistic below. It can be smaller than the
+	// campaign's run count for conditionally emitted metrics.
 	Samples int `json:"samples"`
-	// Mean is the sample mean, with its 95% normal-approximation CI.
+	// Mean is the sample mean over the Samples reporting runs, with its
+	// 95% normal-approximation CI.
 	Mean float64        `json:"mean"`
 	CI   stats.Interval `json:"mean_ci"`
-	// Median, Min and Max describe the sample distribution.
+	// Median, Min and Max describe the distribution over the Samples
+	// reporting runs.
 	Median float64 `json:"median"`
 	Min    float64 `json:"min"`
 	Max    float64 `json:"max"`
@@ -114,7 +122,11 @@ func (a ScenarioAggregate) String() string {
 }
 
 // Render draws the aggregate as a per-metric table in the style of the
-// paper's tables: mean with 95% CI, median and range per metric.
+// paper's tables: sample count, mean with 95% CI, median and range per
+// metric. The n column is each metric's own denominator — conditionally
+// emitted metrics (racemargin's tts_s/<margin>, reported only by shifted
+// seeds) summarise fewer runs than the campaign executed, and hiding
+// that count would let a 3-seed mean masquerade as a 64-seed one.
 func (a ScenarioAggregate) Render() string {
 	var sb strings.Builder
 	sb.WriteString(a.String())
@@ -122,9 +134,10 @@ func (a ScenarioAggregate) Render() string {
 	if len(a.Metrics) == 0 {
 		return sb.String()
 	}
-	t := stats.NewTable("Metric", "mean", "95% CI", "median", "min–max")
+	t := stats.NewTable("Metric", "n", "mean", "95% CI", "median", "min–max")
 	for _, m := range a.Metrics {
 		t.AddRow(m.Name,
+			m.Samples,
 			fmt.Sprintf("%.2f", m.Mean),
 			fmt.Sprintf("%.2f–%.2f", m.CI.Lo, m.CI.Hi),
 			fmt.Sprintf("%.2f", m.Median),

@@ -143,6 +143,59 @@ func TestRunScenarioAggregate(t *testing.T) {
 	}
 }
 
+// TestMetricSubsetDenominator is the regression test for metric keys
+// present in only a subset of a campaign's seeds (racemargin emits
+// tts_s/<margin> only on shifted seeds): the summary's statistics are
+// computed over exactly the reporting runs, Samples records that
+// denominator explicitly, and absent keys never enter the fold as
+// zeros — which would silently drag the mean toward 0.
+func TestMetricSubsetDenominator(t *testing.T) {
+	sc := scenario.Scenario{Name: "subset"}
+	results := []scenario.Result{
+		{Seed: 1, Success: scenario.Bool(true), Metrics: map[string]float64{"always": 10, "sometimes": 4}},
+		{Seed: 2, Success: scenario.Bool(false), Metrics: map[string]float64{"always": 20}},
+		{Seed: 3, Success: scenario.Bool(true), Metrics: map[string]float64{"always": 30, "sometimes": 8}},
+		{Seed: 4, Err: "lab exploded", Metrics: map[string]float64{"always": 999}},
+	}
+	agg := foldScenario(sc, results)
+	if agg.Runs != 4 || agg.Errors != 1 || agg.OutcomeRuns != 3 {
+		t.Fatalf("runs=%d errors=%d outcomes=%d", agg.Runs, agg.Errors, agg.OutcomeRuns)
+	}
+	byName := map[string]MetricSummary{}
+	for _, m := range agg.Metrics {
+		byName[m.Name] = m
+	}
+	always, ok := byName["always"]
+	if !ok {
+		t.Fatalf("no summary for always: %+v", agg.Metrics)
+	}
+	// The errored seed's metrics must not leak into the fold.
+	if always.Samples != 3 || always.Mean != 20 || always.Max != 30 {
+		t.Errorf("always = %+v, want Samples 3 (clean runs only), mean 20", always)
+	}
+	sometimes, ok := byName["sometimes"]
+	if !ok {
+		t.Fatalf("no summary for sometimes: %+v", agg.Metrics)
+	}
+	if sometimes.Samples != 2 {
+		t.Errorf("sometimes.Samples = %d, want 2 (only the reporting runs)", sometimes.Samples)
+	}
+	if sometimes.Mean != 6 || sometimes.Median != 6 || sometimes.Min != 4 || sometimes.Max != 8 {
+		t.Errorf("sometimes = %+v, want statistics over {4, 8}, not zero-filled", sometimes)
+	}
+	// The explicit denominator must survive into rendered and JSON output.
+	if r := agg.Render(); !strings.Contains(r, "n") || !strings.Contains(r, "sometimes") {
+		t.Errorf("Render() lost the sample column:\n%s", r)
+	}
+	b, err := json.Marshal(sometimes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"samples":2`) {
+		t.Errorf("marshalled summary lacks samples: %s", b)
+	}
+}
+
 // TestRunScenarioNoOutcome: scenarios without a binary outcome (the
 // closed-form table3) must not invent success statistics.
 func TestRunScenarioNoOutcome(t *testing.T) {

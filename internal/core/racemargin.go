@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dnstime/internal/netem"
+	"dnstime/internal/ntpclient"
 	"dnstime/internal/scenario"
 )
 
@@ -29,7 +30,7 @@ func init() {
 		Impl:      "core.racemarginScenario",
 		CLI:       "experiments campaigns -only racemargin",
 		Params:    map[string]string{"client": "ntpd", "margins": "10-point grid", "topo": "near-attacker"},
-		ParamKeys: []string{"client", "margins", "vic-net"},
+		ParamKeys: []string{"client", "margin", "margins", "vic-net"},
 		Order:     66,
 		Run:       racemarginScenario,
 	})
@@ -45,8 +46,14 @@ const (
 	fastMarginSpec    = "-2s,-1.2s,-1.1s,28ms"
 )
 
-// parseMargins parses a comma-separated ascending margin grid.
+// parseMargins parses a comma-separated ascending margin grid. An empty
+// (or all-whitespace) spec is rejected up front — strings.Split would
+// otherwise yield one empty field and the error would misleadingly blame
+// a "margin """ instead of the missing grid.
 func parseMargins(spec string) ([]time.Duration, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, errors.New("core: empty margin grid")
+	}
 	parts := strings.Split(spec, ",")
 	margins := make([]time.Duration, 0, len(parts))
 	for _, part := range parts {
@@ -60,30 +67,79 @@ func parseMargins(spec string) ([]time.Duration, error) {
 		}
 		margins = append(margins, m)
 	}
-	if len(margins) == 0 {
-		return nil, errors.New("core: empty margin grid")
-	}
 	return margins, nil
+}
+
+// marginOutcome is one margin's boot-time attack result: did the
+// fragment planting land, did the clock shift, and how long the shift
+// took (meaningful only when Shifted).
+type marginOutcome struct {
+	Poisoned, Shifted bool
+	TimeToShift       time.Duration
+}
+
+// marginsFromParams resolves the margin/margins params into the grid one
+// run sweeps: `margin=` selects exactly one point (the single-margin
+// entry the adaptive search engine drives — see internal/search),
+// `margins=` a comma-separated ascending grid, and neither falls back to
+// the default (or Fast) spec. The two are mutually exclusive: a probe
+// that silently ignored one of them would measure the wrong boundary.
+func marginsFromParams(p scenario.Params, fast bool) ([]time.Duration, error) {
+	single, haveSingle := p["margin"]
+	if haveSingle {
+		if _, both := p["margins"]; both {
+			return nil, errors.New("core: params margin and margins are mutually exclusive")
+		}
+		m, err := time.ParseDuration(strings.TrimSpace(single))
+		if err != nil {
+			return nil, fmt.Errorf("core: margin %q is not a duration", single)
+		}
+		return []time.Duration{m}, nil
+	}
+	spec := defaultMarginSpec
+	if fast {
+		spec = fastMarginSpec
+	}
+	return parseMargins(p.Str("margins", spec))
+}
+
+// runRaceMargin executes the boot-time attack from one network position:
+// the near-attacker preset with the attacker's advantage set to margin
+// (and, when vicNet is non-empty, the victim side swapped for that
+// profile). A run that cannot poison the cache is an unsuccessful
+// outcome, not an error — "the attacker lost the race from this
+// position" is the measurement.
+func runRaceMargin(prof ntpclient.Profile, seed int64, margin time.Duration, vicNet string) (marginOutcome, error) {
+	topo, err := raceTopology(margin, vicNet)
+	if err != nil {
+		return marginOutcome{}, err
+	}
+	res, err := RunBootTimeAttack(prof, LabConfig{Seed: seed, Topology: topo})
+	switch {
+	case errors.Is(err, ErrPoisoningFailed):
+		return marginOutcome{}, nil
+	case err != nil:
+		return marginOutcome{}, fmt.Errorf("racemargin %s at margin %s: %w", prof.Name, margin, err)
+	}
+	return marginOutcome{Poisoned: true, Shifted: res.Shifted, TimeToShift: res.TimeToShift}, nil
 }
 
 // racemarginScenario runs the boot-time attack once per margin at the
 // given seed. Params: client selects the victim profile, margins the
-// grid (comma-separated ascending durations), vic-net replaces the
-// preset's fixed victim-side conditions with a netem profile (e.g.
-// vic-net=lossy-wifi sweeps the margin against bursty victim loss). A
-// run that cannot poison the cache counts as an unsuccessful margin, not
-// an error — "the attacker lost the race from this position" is the
-// measurement. Success reports the outcome at the grid's largest margin.
+// grid (comma-separated ascending durations), margin a single point
+// (the probe form the adaptive search engine sweeps), vic-net replaces
+// the preset's fixed victim-side conditions with a netem profile (e.g.
+// vic-net=lossy-wifi sweeps the margin against bursty victim loss).
+// Success reports the outcome at the grid's largest margin. The tts_s
+// metric is emitted only for shifted margins — an unshifted run has no
+// time-to-shift — so campaign aggregates report it over the subset of
+// seeds that shifted (MetricSummary.Samples carries that denominator).
 func racemarginScenario(_ context.Context, seed int64, cfg scenario.Config) (scenario.Result, error) {
 	prof, err := clientFromParams(cfg.Params)
 	if err != nil {
 		return scenario.Result{}, err
 	}
-	spec := defaultMarginSpec
-	if cfg.Fast {
-		spec = fastMarginSpec
-	}
-	margins, err := parseMargins(cfg.Params.Str("margins", spec))
+	margins, err := marginsFromParams(cfg.Params, cfg.Fast)
 	if err != nil {
 		return scenario.Result{}, err
 	}
@@ -96,26 +152,16 @@ func racemarginScenario(_ context.Context, seed int64, cfg scenario.Config) (sce
 	metrics := make(map[string]float64, 2*len(margins))
 	topShifted := false
 	for _, m := range margins {
-		topo, err := raceTopology(m, vicNet)
+		out, err := runRaceMargin(prof, seed, m, vicNet)
 		if err != nil {
 			return scenario.Result{}, err
 		}
-		res, err := RunBootTimeAttack(prof, LabConfig{Seed: seed, Topology: topo})
 		key := m.String()
-		switch {
-		case errors.Is(err, ErrPoisoningFailed):
-			metrics["poisoned/"+key] = 0
-			metrics["shifted/"+key] = 0
-			topShifted = false
-		case err != nil:
-			return scenario.Result{}, fmt.Errorf("racemargin %s at margin %s: %w", prof.Name, key, err)
-		default:
-			metrics["poisoned/"+key] = 1
-			metrics["shifted/"+key] = boolMetric(res.Shifted)
-			topShifted = res.Shifted
-			if res.Shifted {
-				metrics["tts_s/"+key] = res.TimeToShift.Seconds()
-			}
+		metrics["poisoned/"+key] = boolMetric(out.Poisoned)
+		metrics["shifted/"+key] = boolMetric(out.Shifted)
+		topShifted = out.Shifted
+		if out.Shifted {
+			metrics["tts_s/"+key] = out.TimeToShift.Seconds()
 		}
 	}
 	return scenario.Result{Success: scenario.Bool(topShifted), Metrics: metrics}, nil

@@ -204,6 +204,89 @@ func TestRacemarginParams(t *testing.T) {
 	}
 }
 
+// TestParseMarginsEdgeCases pins the margin-grid parser against the
+// malformed specs a CLI round trip can produce: trailing commas,
+// duplicate or unsorted entries, empty and all-whitespace specs.
+func TestParseMarginsEdgeCases(t *testing.T) {
+	for name, spec := range map[string]string{
+		"empty":            "",
+		"whitespace only":  "   ",
+		"trailing comma":   "-1s,",
+		"leading comma":    ",-1s",
+		"double comma":     "-2s,,-1s",
+		"duplicate":        "-1s,-1s",
+		"unsorted":         "-1s,-2s",
+		"equal after trim": " -1s , -1s ",
+		"not a duration":   "-2s,fast",
+		"unitless":         "-2s,-1",
+	} {
+		if got, err := parseMargins(spec); err == nil {
+			t.Errorf("%s: parseMargins(%q) = %v, want error", name, spec, got)
+		}
+	}
+	got, err := parseMargins(" -2s, -1.2s ,28ms ")
+	if err != nil {
+		t.Fatalf("spaced spec rejected: %v", err)
+	}
+	want := []time.Duration{-2 * time.Second, -1200 * time.Millisecond, 28 * time.Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("parseMargins = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("margin[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if ms, err := parseMargins("-1.15s"); err != nil || len(ms) != 1 || ms[0] != -1150*time.Millisecond {
+		t.Errorf("single-point grid = %v, %v", ms, err)
+	}
+}
+
+// TestRacemarginSingleMarginParam: `margin=` runs exactly one point and
+// reproduces the same metrics the full grid reports for that point — the
+// probe contract the adaptive search engine (internal/search) drives —
+// and is mutually exclusive with `margins=`.
+func TestRacemarginSingleMarginParam(t *testing.T) {
+	const seed = 2
+	single, err := scenario.Run(context.Background(), "racemargin", seed, scenario.Config{
+		Params: scenario.Params{"margin": "-1.1s"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Metrics) == 0 {
+		t.Fatal("single-margin run reported no metrics")
+	}
+	for key := range single.Metrics {
+		if !strings.HasSuffix(key, "/-1.1s") {
+			t.Errorf("single-margin run leaked metric %q", key)
+		}
+	}
+	grid, err := scenario.Run(context.Background(), "racemargin", seed, scenario.Config{
+		Params: scenario.Params{"margins": "-2s,-1.1s,28ms"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"poisoned/-1.1s", "shifted/-1.1s"} {
+		if single.Metrics[key] != grid.Metrics[key] {
+			t.Errorf("metric %s: single %v != grid %v", key, single.Metrics[key], grid.Metrics[key])
+		}
+	}
+	if shifted := single.Metrics["shifted/-1.1s"] == 1; (single.Success != nil && *single.Success) != shifted {
+		t.Errorf("Success = %v, want the -1.1s outcome %t", single.Success, shifted)
+	}
+	for name, p := range map[string]scenario.Params{
+		"margin with margins": {"margin": "-1s", "margins": "-2s,-1s"},
+		"margin not duration": {"margin": "soon"},
+		"margin empty":        {"margin": ""},
+	} {
+		if _, err := scenario.Run(context.Background(), "racemargin", seed, scenario.Config{Params: p}); err == nil {
+			t.Errorf("%s accepted (%v)", name, p)
+		}
+	}
+}
+
 // TestNetsweepTopoAxis: topo=<preset> reruns the profile grid under a
 // role-based topology without changing the metric keys, and topo=all
 // fans out over every preset with preset-qualified keys.

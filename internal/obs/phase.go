@@ -15,6 +15,9 @@ const (
 	// PhaseFold is time spent folding completed results into the
 	// deterministic seed-order aggregate.
 	PhaseFold = "fold"
+	// PhaseProbe is wall time per adaptive-search probe campaign
+	// (internal/search), inclusive of its runs.
+	PhaseProbe = "probe"
 )
 
 // phaseSeconds accumulates wall-clock seconds per execution phase in the

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -74,6 +75,10 @@ func (p Params) Int(key string, def int) (int, error) {
 }
 
 // Float returns the float parameter under key, or def when absent.
+// Non-finite inputs (NaN, +Inf, -Inf) are rejected: strconv.ParseFloat
+// accepts them, but every Float param is physical (a loss fraction, an
+// RTT scale, a tolerance) and a NaN would poison any arithmetic —
+// including range checks, which NaN passes by comparing false both ways.
 func (p Params) Float(key string, def float64) (float64, error) {
 	v, ok := p[key]
 	if !ok {
@@ -82,6 +87,9 @@ func (p Params) Float(key string, def float64) (float64, error) {
 	f, err := strconv.ParseFloat(v, 64)
 	if err != nil {
 		return 0, fmt.Errorf("scenario: param %s=%q is not a number", key, v)
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("scenario: param %s=%q is not a finite number", key, v)
 	}
 	return f, nil
 }

@@ -61,6 +61,29 @@ func TestParamsTypedGetters(t *testing.T) {
 	}
 }
 
+// TestFloatRejectsNonFinite pins the Params.Float finiteness guard:
+// strconv.ParseFloat happily parses NaN and ±Inf, but a NaN loss or rtt
+// would sail through range checks (NaN compares false both ways) and
+// poison netem math, so Float must reject every non-finite spelling.
+func TestFloatRejectsNonFinite(t *testing.T) {
+	for _, bad := range []string{"NaN", "nan", "+Inf", "-Inf", "inf", "Infinity", "1e999"} {
+		p := Params{"loss": bad}
+		if v, err := p.Float("loss", 0); err == nil {
+			t.Errorf("Float accepted %q as %v; want a non-finite error", bad, v)
+		}
+	}
+	p := Params{"loss": "0.25"}
+	if v, err := p.Float("loss", 0); err != nil || v != 0.25 {
+		t.Errorf("Float(0.25) = %v, %v", v, err)
+	}
+	if v, err := p.Float("missing", 1.5); err != nil || v != 1.5 {
+		t.Errorf("Float default = %v, %v", v, err)
+	}
+	if _, err := (Params{"loss": "x"}).Float("loss", 0); err == nil {
+		t.Error("non-numeric float accepted")
+	}
+}
+
 func TestAcceptsParams(t *testing.T) {
 	s := Scenario{Name: "x", ParamKeys: []string{"client", "offset"}}
 	if err := s.AcceptsParams(nil); err != nil {

@@ -1,0 +1,157 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind is the unit system of a search axis. All axis arithmetic happens
+// on int64 ticks — never on float64 — so the bisection loop is exact:
+// the same bracket always produces the same probe sequence, and a
+// returned bound is always representable as a CLI parameter string that
+// round-trips to the same tick.
+type Kind int
+
+// Axis unit systems. Each kind fixes how parameter strings map to ticks
+// and back; ParseValue and Axis.Format are inverses within a kind.
+const (
+	// KindDuration is a time.Duration-valued axis, held in nanoseconds
+	// and rendered with time.Duration.String ("-1.2s").
+	KindDuration Kind = iota
+	// KindFraction is a dimensionless float axis (a loss rate, a scale
+	// factor), held in millionths and rendered as a decimal ("0.25").
+	KindFraction
+)
+
+// String names the kind ("duration" or "fraction").
+func (k Kind) String() string {
+	switch k {
+	case KindDuration:
+		return "duration"
+	case KindFraction:
+		return "fraction"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind parses a Kind name as the CLI spells it.
+func ParseKind(s string) (Kind, error) {
+	switch strings.TrimSpace(s) {
+	case "duration":
+		return KindDuration, nil
+	case "fraction":
+		return KindFraction, nil
+	}
+	return 0, fmt.Errorf("search: unknown axis kind %q (have: duration, fraction)", s)
+}
+
+// fractionScale is KindFraction's tick size: one millionth. Fine enough
+// for any loss rate or scale factor the scenarios take, and exact in
+// int64 across the full range a search could sweep.
+const fractionScale = 1e6
+
+// ParseValue parses one axis value into the kind's native int64 unit
+// (nanoseconds, or millionths). Fraction values must be finite —
+// strconv.ParseFloat accepts "NaN" and "+Inf", and a non-finite bracket
+// endpoint would make every tick comparison in the bisection loop lie.
+func ParseValue(k Kind, s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	switch k {
+	case KindDuration:
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return 0, fmt.Errorf("search: %q is not a duration", s)
+		}
+		return int64(d), nil
+	case KindFraction:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0, fmt.Errorf("search: %q is not a finite number", s)
+		}
+		return int64(math.Round(f * fractionScale)), nil
+	}
+	return 0, fmt.Errorf("search: unknown axis kind %v", k)
+}
+
+// Axis is one monotone success-vs-parameter dimension of a scenario:
+// the param key it sweeps, the bracket to search, and the resolution to
+// stop at, all in the Kind's native int64 unit.
+type Axis struct {
+	// Key is the scenario param the axis drives (e.g. racemargin's
+	// single-point "margin").
+	Key string `json:"key"`
+	// Kind selects the unit system (duration or fraction).
+	Kind Kind `json:"-"`
+	// Lo and Hi bracket the threshold. The search assumes the scenario
+	// fails at Lo and succeeds at Hi (swapped under Falling) and only
+	// probes strictly inside the bracket.
+	Lo int64 `json:"-"`
+	Hi int64 `json:"-"`
+	// Step is the resolution: the search stops once the bracket is one
+	// Step wide. Lo and Hi must be multiples of Step so every probe
+	// lands exactly on the Step grid.
+	Step int64 `json:"-"`
+	// Falling flips the monotone direction: success at Lo, failure at
+	// Hi (e.g. success-vs-loss axes, where more loss breaks the attack).
+	Falling bool `json:"falling,omitempty"`
+}
+
+// Format renders a native-unit value as the scenario param string the
+// probe passes (and the JSON output reports).
+func (a Axis) Format(v int64) string {
+	if a.Kind == KindFraction {
+		return strconv.FormatFloat(float64(v)/fractionScale, 'g', -1, 64)
+	}
+	return time.Duration(v).String()
+}
+
+// validate rejects axes the tick-space bisection cannot search exactly.
+func (a Axis) validate() error {
+	switch {
+	case a.Key == "" || strings.ContainsAny(a.Key, "= ,"):
+		return fmt.Errorf("search: axis key %q is not a scenario param key", a.Key)
+	case a.Step <= 0:
+		return fmt.Errorf("search: axis resolution must be positive (got %s)", a.Format(a.Step))
+	case a.Hi <= a.Lo:
+		return fmt.Errorf("search: axis bracket is empty (%s..%s)", a.Format(a.Lo), a.Format(a.Hi))
+	case a.Lo%a.Step != 0 || a.Hi%a.Step != 0:
+		return fmt.Errorf("search: bracket %s..%s is not aligned to resolution %s",
+			a.Format(a.Lo), a.Format(a.Hi), a.Format(a.Step))
+	}
+	return nil
+}
+
+// width is the bracket size in Steps.
+func (a Axis) width() int64 { return (a.Hi - a.Lo) / a.Step }
+
+// Budget is the worst-case number of probe campaigns a bisection of the
+// axis needs: ⌈log₂(width/resolution)⌉. Bisect never exceeds it.
+func (a Axis) Budget() int {
+	w := a.width()
+	if w <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(w - 1))
+}
+
+// DefaultAxis returns the built-in search axis for a scenario, when one
+// is defined. racemargin maps to its margin axis over [-2s, 0s] at
+// 100 ms — the bracket whose bisection reproduces the committed
+// −1.2s…−1.1s collapse threshold (EXPERIMENTS.md).
+func DefaultAxis(scenarioName string) (Axis, bool) {
+	switch scenarioName {
+	case "racemargin":
+		return Axis{
+			Key:  "margin",
+			Kind: KindDuration,
+			Lo:   int64(-2 * time.Second),
+			Hi:   0,
+			Step: int64(100 * time.Millisecond),
+		}, true
+	}
+	return Axis{}, false
+}

@@ -1,0 +1,111 @@
+package search
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		in   string
+		want int64
+		ok   bool
+	}{
+		{KindDuration, "-1.2s", int64(-1200 * time.Millisecond), true},
+		{KindDuration, " 100ms ", int64(100 * time.Millisecond), true},
+		{KindDuration, "0.5", 0, false}, // unitless
+		{KindDuration, "soon", 0, false},
+		{KindFraction, "0.25", 250000, true},
+		{KindFraction, "-0.5", -500000, true},
+		{KindFraction, "NaN", 0, false},
+		{KindFraction, "+Inf", 0, false},
+		{KindFraction, "1e999", 0, false}, // overflows to +Inf
+		{KindFraction, "x", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.kind, c.in)
+		if c.ok != (err == nil) || (c.ok && got != c.want) {
+			t.Errorf("ParseValue(%v, %q) = %d, %v; want %d, ok=%t", c.kind, c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+// TestAxisFormatRoundTrip: every grid point of an axis must render to a
+// param string that parses back to the same tick — the returned bracket
+// bounds are meant to be pasted straight into -param/-lo/-hi.
+func TestAxisFormatRoundTrip(t *testing.T) {
+	axes := []Axis{
+		{Key: "margin", Kind: KindDuration, Lo: int64(-2 * time.Second), Hi: 0, Step: int64(100 * time.Millisecond)},
+		{Key: "loss", Kind: KindFraction, Lo: 0, Hi: 1000000, Step: 25000},
+	}
+	for _, ax := range axes {
+		for v := ax.Lo; v <= ax.Hi; v += ax.Step {
+			s := ax.Format(v)
+			got, err := ParseValue(ax.Kind, s)
+			if err != nil || got != v {
+				t.Fatalf("%s axis: Format(%d) = %q parses to %d, %v", ax.Kind, v, s, got, err)
+			}
+		}
+	}
+}
+
+func TestAxisBudget(t *testing.T) {
+	ax := Axis{Key: "margin", Kind: KindDuration, Lo: int64(-2 * time.Second), Hi: 0, Step: int64(100 * time.Millisecond)}
+	if w := ax.width(); w != 20 {
+		t.Fatalf("width = %d, want 20", w)
+	}
+	// ⌈log₂20⌉ = 5: the committed racemargin bracket costs five probes.
+	if b := ax.Budget(); b != 5 {
+		t.Errorf("Budget() = %d, want 5", b)
+	}
+	for _, c := range []struct{ width, want int64 }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {16, 4}, {17, 5}, {1024, 10},
+	} {
+		ax := Axis{Key: "x", Kind: KindFraction, Lo: 0, Hi: c.width, Step: 1}
+		if got := int64(ax.Budget()); got != c.want {
+			t.Errorf("Budget(width %d) = %d, want %d", c.width, got, c.want)
+		}
+	}
+}
+
+func TestAxisValidate(t *testing.T) {
+	good := Axis{Key: "x", Kind: KindFraction, Lo: 0, Hi: 100, Step: 10}
+	if err := good.validate(); err != nil {
+		t.Fatalf("valid axis rejected: %v", err)
+	}
+	bad := map[string]Axis{
+		"empty key":      {Kind: KindFraction, Lo: 0, Hi: 100, Step: 10},
+		"key with space": {Key: "a b", Kind: KindFraction, Lo: 0, Hi: 100, Step: 10},
+		"zero step":      {Key: "x", Lo: 0, Hi: 100},
+		"negative step":  {Key: "x", Lo: 0, Hi: 100, Step: -10},
+		"empty bracket":  {Key: "x", Lo: 100, Hi: 100, Step: 10},
+		"inverted":       {Key: "x", Lo: 100, Hi: 0, Step: 10},
+		"unaligned lo":   {Key: "x", Lo: 5, Hi: 100, Step: 10},
+		"unaligned hi":   {Key: "x", Lo: 0, Hi: 95, Step: 10},
+	}
+	for name, ax := range bad {
+		if err := ax.validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestDefaultAxis: the racemargin mapping reproduces the committed
+// bracket search (EXPERIMENTS.md) and unknown scenarios report false.
+func TestDefaultAxis(t *testing.T) {
+	ax, ok := DefaultAxis("racemargin")
+	if !ok || ax.Key != "margin" || ax.Kind != KindDuration {
+		t.Fatalf("DefaultAxis(racemargin) = %+v, %t", ax, ok)
+	}
+	if err := ax.validate(); err != nil {
+		t.Errorf("built-in axis invalid: %v", err)
+	}
+	if ax.Format(ax.Lo) != "-2s" || ax.Format(ax.Hi) != "0s" || ax.Budget() != 5 {
+		t.Errorf("racemargin axis = [%s, %s] budget %d, want [-2s, 0s] budget 5",
+			ax.Format(ax.Lo), ax.Format(ax.Hi), ax.Budget())
+	}
+	if _, ok := DefaultAxis("boot"); ok {
+		t.Error("boot has a default axis")
+	}
+}

@@ -1,0 +1,250 @@
+package search
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"reflect"
+	"sort"
+
+	"dnstime/internal/obs"
+	"dnstime/internal/scenario"
+)
+
+// searchCheckpointVersion is bumped if the JSONL layout changes shape.
+const searchCheckpointVersion = 1
+
+// buildRevision reports the VCS revision stamped into search
+// checkpoints. A variable so tests can simulate cross-revision resumes
+// (obs.BuildInfo caches, and `go test` binaries carry no revision).
+var buildRevision = func() string { return obs.BuildInfo().Revision }
+
+// stampRevision returns the current build's VCS revision, or "" when
+// unknown ("unknown" is BuildInfo's placeholder, not an identity).
+func stampRevision() string {
+	if rev := buildRevision(); rev != "" && rev != "unknown" {
+		return rev
+	}
+	return ""
+}
+
+// searchHeader is the first line of a search checkpoint: the search
+// identity a recorded probe is only valid under. Seed range is NOT part
+// of the header — it is part of each probe's key, so one file can serve
+// searches that mix probe sizes (the Grid prune/extend stages).
+type searchHeader struct {
+	V        int             `json:"v"`
+	Scenario string          `json:"scenario"`
+	Target   float64         `json:"target"`
+	Fast     bool            `json:"fast,omitempty"`
+	Params   scenario.Params `json:"params,omitempty"`
+	// Revision is the VCS revision of the writing binary, when known.
+	// Probe outcomes are only reproducible under the same simulator
+	// code, so a cross-revision resume is refused unless Options.Force.
+	Revision string `json:"revision,omitempty"`
+}
+
+// searchHeaderFor builds the header for one option set.
+func searchHeaderFor(opt Options) searchHeader {
+	return searchHeader{
+		V:        searchCheckpointVersion,
+		Scenario: opt.Scenario,
+		Target:   opt.Target,
+		Fast:     opt.Fast,
+		Params:   opt.Params,
+		Revision: stampRevision(),
+	}
+}
+
+// compatible reports whether probes recorded under h can answer a
+// search under opt.
+func (h searchHeader) compatible(opt Options) error {
+	switch {
+	case h.V != searchCheckpointVersion:
+		return fmt.Errorf("search: checkpoint version %d, want %d", h.V, searchCheckpointVersion)
+	case h.Scenario != opt.Scenario:
+		return fmt.Errorf("search: checkpoint is for scenario %q, not %q", h.Scenario, opt.Scenario)
+	case h.Target != opt.Target:
+		return fmt.Errorf("search: checkpoint target %v, search target %v", h.Target, opt.Target)
+	case h.Fast != opt.Fast:
+		return fmt.Errorf("search: checkpoint fast=%t, search fast=%t", h.Fast, opt.Fast)
+	case len(h.Params) != len(opt.Params) ||
+		(len(h.Params) > 0 && !reflect.DeepEqual(h.Params, opt.Params)):
+		return fmt.Errorf("search: checkpoint params (%s) differ from search params (%s)", h.Params, opt.Params)
+	}
+	if cur := stampRevision(); h.Revision != "" && cur != "" && h.Revision != cur && !opt.Force {
+		return fmt.Errorf("search: checkpoint was written at revision %.12s, this build is %.12s — its probes may not reproduce; pass -force to resume anyway",
+			h.Revision, cur)
+	}
+	return nil
+}
+
+// probeRecord is one completed probe campaign as persisted: its
+// canonical key (full param assignment plus seed range) and its
+// binary-outcome counts — everything a resume needs to skip the
+// campaign.
+type probeRecord struct {
+	Key       string `json:"key"`
+	Successes int    `json:"successes"`
+	Runs      int    `json:"runs"`
+}
+
+// probeCache answers probes from a resume checkpoint and appends newly
+// executed ones to the checkpoint file. With neither Resume nor
+// Checkpoint set it degrades to an in-memory map (which still
+// deduplicates probes inside one search).
+type probeCache struct {
+	recs map[string]probeRecord
+	f    *os.File // nil when no checkpoint file is being written
+}
+
+// openProbeCache loads the resume file (when configured) and prepares
+// the checkpoint file (when configured), mirroring campaign.Engine's
+// resume workflow: same path for both means one file keeps growing
+// across interruptions and a missing file is a fresh start; a torn
+// trailing fragment (crash mid-append) is truncated away, while a
+// malformed line inside the terminated prefix is an error.
+func openProbeCache(opt Options) (*probeCache, error) {
+	c := &probeCache{recs: map[string]probeRecord{}}
+	var validLen int64
+	if opt.Resume != "" {
+		n, err := c.load(opt)
+		switch {
+		case err == nil:
+			validLen = n
+		case opt.Resume == opt.Checkpoint && errors.Is(err, fs.ErrNotExist):
+		default:
+			return nil, err
+		}
+	}
+	if opt.Checkpoint == "" {
+		return c, nil
+	}
+	if opt.Checkpoint == opt.Resume && validLen > 0 {
+		if f, err := os.OpenFile(opt.Checkpoint, os.O_WRONLY, 0o644); err == nil {
+			if err := f.Truncate(validLen); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("search: checkpoint %s: %w", opt.Checkpoint, err)
+			}
+			if _, err := f.Seek(validLen, 0); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("search: checkpoint %s: %w", opt.Checkpoint, err)
+			}
+			c.f = f
+			return c, nil
+		}
+	}
+	f, err := os.Create(opt.Checkpoint)
+	if err != nil {
+		return nil, fmt.Errorf("search: checkpoint: %w", err)
+	}
+	c.f = f
+	hdr, err := json.Marshal(searchHeaderFor(opt))
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("search: checkpoint: %w", err)
+	}
+	if _, err := f.Write(append(hdr, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("search: checkpoint %s: %w", opt.Checkpoint, err)
+	}
+	// Replay resumed probes (sorted by key) so a cross-file checkpoint
+	// is complete on its own.
+	keys := make([]string, 0, len(c.recs))
+	for k := range c.recs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := c.append(c.recs[k]); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// load reads the resume file into the cache and returns the byte length
+// of its valid newline-terminated prefix.
+func (c *probeCache) load(opt Options) (int64, error) {
+	data, err := os.ReadFile(opt.Resume)
+	if err != nil {
+		return 0, fmt.Errorf("search: resume: %w", err)
+	}
+	var validLen int64
+	lineNo := 0
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn trailing fragment from a crash mid-append
+		}
+		line := data[:nl]
+		lineNo++
+		if lineNo == 1 {
+			var h searchHeader
+			if err := json.Unmarshal(line, &h); err != nil {
+				return 0, fmt.Errorf("search: resume %s: bad header: %w", opt.Resume, err)
+			}
+			if err := h.compatible(opt); err != nil {
+				return 0, fmt.Errorf("%w (resume %s)", err, opt.Resume)
+			}
+		} else {
+			var rec probeRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return 0, fmt.Errorf("search: resume %s line %d: %w", opt.Resume, lineNo, err)
+			}
+			c.recs[rec.Key] = rec
+		}
+		validLen += int64(nl + 1)
+		data = data[nl+1:]
+	}
+	if lineNo == 0 {
+		return 0, fmt.Errorf("search: resume %s: empty checkpoint", opt.Resume)
+	}
+	return validLen, nil
+}
+
+// get answers a probe from the cache.
+func (c *probeCache) get(key string) (probeRecord, bool) {
+	rec, ok := c.recs[key]
+	return rec, ok
+}
+
+// put records a newly executed probe and appends it to the checkpoint
+// file when one is open.
+func (c *probeCache) put(key string, successes, runs int) error {
+	rec := probeRecord{Key: key, Successes: successes, Runs: runs}
+	c.recs[key] = rec
+	if c.f == nil {
+		return nil
+	}
+	return c.append(rec)
+}
+
+// append writes one probe line to the checkpoint file.
+func (c *probeCache) append(rec probeRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("search: checkpoint: %w", err)
+	}
+	if _, err := c.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("search: checkpoint %s: %w", c.f.Name(), err)
+	}
+	return nil
+}
+
+// close flushes and closes the checkpoint file; idempotent.
+func (c *probeCache) close() error {
+	if c.f == nil {
+		return nil
+	}
+	f := c.f
+	c.f = nil
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("search: checkpoint %s: %w", f.Name(), err)
+	}
+	return nil
+}

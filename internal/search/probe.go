@@ -1,0 +1,201 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"dnstime/internal/campaign"
+	"dnstime/internal/obs"
+	"dnstime/internal/scenario"
+	"dnstime/internal/stats"
+)
+
+// probesTotal counts probe campaigns actually executed by the search
+// engine, process-wide (obs.Default; exported on the serve /metrics
+// Prometheus view). Probes answered from a resume checkpoint are not
+// counted — they ran in a previous process.
+var probesTotal = obs.Default.Counter("dnstime_search_probes",
+	"Probe campaigns executed by the adaptive search engine (checkpoint-resumed probes excluded).")
+
+// Options configures a search run: the scenario under test, how each
+// probe campaign is sized, the success-rate target, and persistence.
+// Every probe inherits the zero-value defaults of campaign.Engine
+// (16 seeds, base seed 1, GOMAXPROCS workers).
+type Options struct {
+	// Scenario is the registered scenario every probe runs.
+	Scenario string
+	// Seeds is the number of seeds per probe campaign (default 16).
+	Seeds int
+	// BaseSeed is each probe campaign's first seed (default 1).
+	BaseSeed int64
+	// Workers caps each probe campaign's concurrency. The search output
+	// does not depend on it.
+	Workers int
+	// Fast passes Fast mode through to every run.
+	Fast bool
+	// Params are fixed scenario params applied to every probe, on top of
+	// which the search writes the swept key(s).
+	Params scenario.Params
+	// Target is the success-rate threshold in (0, 1) that defines the
+	// boundary being searched (default 0.5): a probe "succeeds" when its
+	// campaign's success rate reaches Target.
+	Target float64
+	// Checkpoint, when set, appends every completed probe to this JSONL
+	// file so an interrupted search can resume without re-running them.
+	Checkpoint string
+	// Resume, when set, reuses completed probes recorded in this
+	// checkpoint file. Pass the same path as Checkpoint to keep
+	// extending one file across interruptions (a missing file is then a
+	// fresh start, not an error).
+	Resume string
+	// Force accepts a resume checkpoint written by a different VCS
+	// revision (refused by default — its probes may not reproduce).
+	Force bool
+	// Progress, if set, is called after each probe with the probe and
+	// the running done count; total is the remaining worst-case probe
+	// count (Bisect) or the cell-campaign count (Grid).
+	Progress func(p Probe, done, total int)
+}
+
+// withDefaults fills unset option fields.
+func (o Options) withDefaults() Options {
+	if o.Seeds <= 0 {
+		o.Seeds = campaign.DefaultSeeds
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = campaign.DefaultBaseSeed
+	}
+	if o.Target == 0 {
+		o.Target = 0.5
+	}
+	return o
+}
+
+// validate rejects option sets no probe can evaluate.
+func (o Options) validate() error {
+	if o.Scenario == "" {
+		return fmt.Errorf("search: no scenario")
+	}
+	if math.IsNaN(o.Target) || o.Target <= 0 || o.Target >= 1 {
+		return fmt.Errorf("search: target must be a success rate in (0, 1), got %v", o.Target)
+	}
+	return nil
+}
+
+// Probe is one evaluated point of the search: a full multi-seed
+// campaign at one parameter assignment, reduced to its binary-outcome
+// statistics. Probes carry no wall-clock fields, so search output is
+// byte-identical across worker counts and across resumes.
+type Probe struct {
+	// Value is the swept parameter value the probe ran at, as passed to
+	// the scenario (Bisect; empty for Grid cells, whose identity is the
+	// cell's param set).
+	Value string `json:"value,omitempty"`
+	// Successes and Runs are the campaign's binary-outcome counts.
+	Successes int `json:"successes"`
+	Runs      int `json:"runs"`
+	// Rate is Successes/Runs with its 95% Wilson interval (fractions).
+	Rate float64        `json:"rate"`
+	CI   stats.Interval `json:"ci"`
+	// Success reports whether Rate reached the search target — the bit
+	// the bisection steps on.
+	Success bool `json:"success"`
+	// Cached marks a probe answered from a resume checkpoint instead of
+	// an executed campaign. Excluded from JSON: a resumed search's
+	// output must stay byte-identical to an uninterrupted one.
+	Cached bool `json:"-"`
+}
+
+// probeKey is a probe campaign's canonical identity inside a checkpoint
+// file: the full param assignment (sorted), plus the seed range — the
+// same point probed at different seed counts is a different measurement.
+func probeKey(params scenario.Params, seeds int, baseSeed int64) string {
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%s,", k, params[k])
+	}
+	fmt.Fprintf(&sb, "seeds=%d,base=%d", seeds, baseSeed)
+	return sb.String()
+}
+
+// probeParams merges the fixed params with the swept assignment.
+func probeParams(fixed scenario.Params, swept map[string]string) scenario.Params {
+	p := scenario.Params{}
+	for k, v := range fixed {
+		p[k] = v
+	}
+	for k, v := range swept {
+		p[k] = v
+	}
+	return p
+}
+
+// runProbe executes one probe campaign (or answers it from the resume
+// cache) and folds it to a Probe. Seed errors fail the probe loudly: a
+// threshold read off a partially errored campaign would be garbage with
+// a confident face.
+func runProbe(ctx context.Context, opt Options, cache *probeCache, swept map[string]string, seeds int, baseSeed int64) (Probe, error) {
+	params := probeParams(opt.Params, swept)
+	key := probeKey(params, seeds, baseSeed)
+	if rec, ok := cache.get(key); ok {
+		return foldProbe(opt, swept, rec.Successes, rec.Runs, true), nil
+	}
+	start := time.Now()
+	agg, err := campaign.NewEngine(
+		campaign.WithSeeds(seeds),
+		campaign.WithBaseSeed(baseSeed),
+		campaign.WithWorkers(opt.Workers),
+		campaign.WithFast(opt.Fast),
+		campaign.WithParams(params),
+	).Run(ctx, opt.Scenario)
+	obs.ObservePhase(obs.PhaseProbe, time.Since(start))
+	if err != nil {
+		return Probe{}, err
+	}
+	probesTotal.Inc()
+	if agg.Errors > 0 {
+		first := ""
+		for _, r := range agg.PerRun {
+			if r.Err != "" {
+				first = r.Err
+				break
+			}
+		}
+		return Probe{}, fmt.Errorf("search: probe %s: %d/%d seeds errored (first: %s)",
+			key, agg.Errors, agg.Runs, first)
+	}
+	if agg.OutcomeRuns == 0 {
+		return Probe{}, fmt.Errorf("search: scenario %s reports no binary outcome — nothing to search", opt.Scenario)
+	}
+	if err := cache.put(key, agg.Successes, agg.OutcomeRuns); err != nil {
+		return Probe{}, err
+	}
+	return foldProbe(opt, swept, agg.Successes, agg.OutcomeRuns, false), nil
+}
+
+// foldProbe reduces outcome counts to a Probe against the target.
+func foldProbe(opt Options, swept map[string]string, successes, runs int, cached bool) Probe {
+	p := Probe{
+		Successes: successes,
+		Runs:      runs,
+		Rate:      float64(successes) / float64(runs),
+		CI:        stats.Wilson(successes, runs),
+		Cached:    cached,
+	}
+	if len(swept) == 1 {
+		for _, v := range swept {
+			p.Value = v
+		}
+	}
+	p.Success = p.Rate >= opt.Target
+	return p
+}
